@@ -1,0 +1,111 @@
+// Command geacc-bench regenerates the tables and figures of the paper's
+// evaluation (Section V). Each experiment prints one pivot table per metric
+// (MaxSum, running time, memory) — the textual equivalent of the figure's
+// curves — and can also dump the raw points as CSV.
+//
+// Usage:
+//
+//	geacc-bench -list
+//	geacc-bench -run fig3v
+//	geacc-bench -run all -scale 0.2 -reps 3 -csv out.csv
+//
+// Scale 1 reproduces the paper's workload sizes; smaller scales shrink
+// cardinalities proportionally for quick looks. Shapes (who wins, how curves
+// trend) are preserved at reduced scale; absolute numbers are not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/ebsnlab/geacc/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geacc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geacc-bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	runID := fs.String("run", "", "experiment id, comma-separated ids, or 'all'")
+	scale := fs.Float64("scale", 1.0, "workload scale in (0, 1]; 1 = the paper's sizes")
+	reps := fs.Int("reps", 1, "repetitions to average per point")
+	seed := fs.Int64("seed", 1, "root random seed")
+	csvPath := fs.String("csv", "", "also write raw points to this CSV file")
+	jsonPath := fs.String("json", "", "also write raw points to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *runID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -run (or -list)")
+	}
+
+	var experiments []bench.Experiment
+	if *runID == "all" {
+		experiments = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	opt := bench.Options{Scale: *scale, Reps: *reps, Seed: *seed}
+	var allPoints []bench.Point
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "running %s (scale %.3g, reps %d)...\n", e.ID, *scale, *reps)
+		points, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		metrics := bench.StandardMetrics()
+		metrics = append(metrics, bench.ExtraMetrics(points)...)
+		fmt.Fprintln(stdout, bench.RenderTables(e.Title, e.XLabel, points, metrics))
+		if spark := bench.RenderSparklines(e.XLabel, points, bench.StandardMetrics()); spark != "" {
+			fmt.Fprintln(stdout, spark)
+		}
+		allPoints = append(allPoints, points...)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, allPoints); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(allPoints), *csvPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, allPoints); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(allPoints), *jsonPath)
+	}
+	return nil
+}

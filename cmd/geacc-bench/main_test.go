@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3v", "fig4real", "fig5ab", "fig6bcd"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestBenchRunOneExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig3cf", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 3 col 4", "MaxSum", "time (s)", "memory (MB)", "greedy", "mincostflow"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchRunCommaSeparatedAndCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "points.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig3v,fig3d", "-scale", "0.05", "-csv", csvPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "experiment,x,algo,") {
+		t.Fatalf("bad CSV header: %q", text[:50])
+	}
+	if !strings.Contains(text, "fig3v") || !strings.Contains(text, "fig3d") {
+		t.Error("CSV missing experiments")
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -run accepted")
+	}
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

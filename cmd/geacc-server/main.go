@@ -1,0 +1,37 @@
+// Command geacc-server serves the GEACC solvers over JSON/HTTP.
+//
+// Usage:
+//
+//	geacc-server -addr :8080
+//
+//	curl localhost:8080/algorithms
+//	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy'
+//	curl -XPOST --data-binary @session.json localhost:8080/validate
+//
+// See internal/server for the endpoint contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      10 * time.Minute, // min-cost flow on large instances is slow
+	}
+	fmt.Printf("geacc-server listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,164 @@
+// Command geacc-solve reads a GEACC instance (JSON, see internal/encoding)
+// and prints the arrangement computed by the chosen algorithm.
+//
+// Usage:
+//
+//	geacc-gen -kind synthetic -events 20 -users 100 -out instance.json
+//	geacc-solve -in instance.json -algo greedy
+//	geacc-solve -in instance.json -algo mincostflow -format csv -out matching.csv
+//
+// The output (JSON by default, CSV with -format csv) lists each assigned
+// (event, user) pair with its interestingness value, plus the MaxSum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geacc-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geacc-solve", flag.ContinueOnError)
+	inPath := fs.String("in", "", "instance JSON file (required)")
+	algo := fs.String("algo", "greedy", fmt.Sprintf("algorithm: %v or portfolio", core.SolverNames()))
+	format := fs.String("format", "json", "output format: json or csv")
+	outPath := fs.String("out", "", "write the matching here instead of stdout")
+	sessionPath := fs.String("session", "", "also archive instance+matching+metadata (JSON) here")
+	seed := fs.Int64("seed", 1, "seed for the random baselines")
+	index := fs.String("index", "", "greedy NN index: chunked (default), sorted, kdtree, idistance, vafile, parallel, lsh")
+	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
+	showReport := fs.Bool("report", false, "print an arrangement quality report to stderr")
+	skipBound := fs.Bool("no-bound", false, "with -report, skip the relaxation upper bound (faster)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	in, simInfo, err := encoding.DecodeInstanceMeta(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var m *core.Matching
+	start := time.Now()
+	if *algo == "portfolio" {
+		// Race the practical solvers concurrently and keep the best.
+		best, _, err := core.Portfolio(in,
+			[]string{"greedy", "mincostflow", "random-v", "random-u"}, *seed)
+		if err != nil {
+			return err
+		}
+		m = best
+	} else if *algo == "greedy" && *index != "" {
+		kind, err := indexKindByName(*index)
+		if err != nil {
+			return err
+		}
+		m = core.GreedyOpts(in, core.GreedyOptions{Index: kind})
+	} else {
+		solve, err := core.LookupSolver(*algo)
+		if err != nil {
+			return err
+		}
+		m = solve(in, rand.New(rand.NewSource(*seed)))
+	}
+	elapsed := time.Since(start)
+	if err := core.Validate(in, m); err != nil {
+		return fmt.Errorf("internal error: infeasible matching: %w", err)
+	}
+	if *sessionPath != "" {
+		sf, err := os.Create(*sessionPath)
+		if err != nil {
+			return err
+		}
+		meta := encoding.SessionMeta{
+			Algorithm: *algo,
+			Seed:      *seed,
+			Seconds:   elapsed.Seconds(),
+			CreatedAt: time.Now().UTC(),
+		}
+		err = encoding.EncodeSession(sf, in, m, meta, simInfo.Kind, simInfo.Dim, simInfo.MaxT)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	switch *format {
+	case "json":
+		err = encoding.EncodeMatching(out, m)
+	case "csv":
+		err = encoding.WriteMatchingCSV(out, m)
+	default:
+		return fmt.Errorf("unknown format %q (json or csv)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%s: |V|=%d |U|=%d |CF|=%d -> %d pairs, MaxSum=%.4f in %v\n",
+			*algo, in.NumEvents(), in.NumUsers(), conflictCount(in), m.Size(), m.MaxSum(), elapsed)
+	}
+	if *showReport {
+		rep, err := report.Build(in, m, *skipBound)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, rep)
+	}
+	return nil
+}
+
+// indexKindByName resolves the -index flag.
+func indexKindByName(name string) (core.IndexKind, error) {
+	kinds := []core.IndexKind{
+		core.IndexChunked, core.IndexSorted, core.IndexKDTree,
+		core.IndexIDistance, core.IndexVAFile, core.IndexParallel, core.IndexLSH,
+	}
+	for _, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown index %q (chunked, sorted, kdtree, idistance, vafile, parallel, lsh)", name)
+}
+
+func conflictCount(in *core.Instance) int {
+	if in.Conflicts == nil {
+		return 0
+	}
+	return in.Conflicts.Edges()
+}

@@ -1,0 +1,39 @@
+package geacc
+
+import (
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Arranger maintains an arrangement under online arrival of events and
+// users and event cancellations — the operational extension of the paper's
+// static GEACC problem. Arrivals are placed greedily against the current
+// state; Rebalance re-solves with batch Greedy-GEACC and adopts the result
+// when it improves. Every operation preserves feasibility.
+//
+//	arr, _ := geacc.NewArranger(geacc.EuclideanSimilarity(2, 10))
+//	v, _ := arr.AddEvent(geacc.Event{Attrs: []float64{1, 2}, Cap: 20}, nil)
+//	u, _ := arr.AddUser(geacc.User{Attrs: []float64{1, 3}, Cap: 2})
+//	fmt.Println(arr.UserEvents(u)) // [v] if feasible
+type Arranger = core.Arranger
+
+// SimilarityFunc is a pluggable similarity for NewArranger; see
+// EuclideanSimilarity and CosineSimilarity.
+type SimilarityFunc = sim.Func
+
+// EuclideanSimilarity is the paper's Equation 1 over d-dimensional
+// attributes in [0, maxT], for use with NewArranger.
+func EuclideanSimilarity(d int, maxT float64) SimilarityFunc {
+	return sim.Euclidean(d, maxT)
+}
+
+// CosineSimilarity is cosine similarity clamped to [0, 1], for use with
+// NewArranger.
+func CosineSimilarity() SimilarityFunc {
+	return sim.Cosine()
+}
+
+// NewArranger returns an empty dynamic arrangement using similarity f.
+func NewArranger(f SimilarityFunc) (*Arranger, error) {
+	return core.NewArranger(f)
+}

@@ -1,0 +1,86 @@
+// Algorithm comparison: the quality/time trade-off between Greedy-GEACC,
+// MinCostFlow-GEACC and the random baselines on a synthetic workload, with
+// the conflict-free relaxation as an upper bound on the (intractable)
+// optimum — a miniature of the paper's Fig. 3.
+//
+// Run with: go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/ebsnlab/geacc"
+)
+
+const (
+	dim  = 10
+	maxT = 100.0
+)
+
+// instance generates a random GEACC problem: |V| events, |U| users, uniform
+// attributes and capacities, and a random conflict set of the given density.
+func instance(rng *rand.Rand, nv, nu int, cfRatio float64) *geacc.Problem {
+	vec := func() []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.Float64() * maxT
+		}
+		return v
+	}
+	events := make([]geacc.Event, nv)
+	for i := range events {
+		events[i] = geacc.Event{Attrs: vec(), Cap: 1 + rng.Intn(20)}
+	}
+	users := make([]geacc.User, nu)
+	for i := range users {
+		users[i] = geacc.User{Attrs: vec(), Cap: 1 + rng.Intn(4)}
+	}
+	var pairs [][2]int
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			if rng.Float64() < cfRatio {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	p, err := geacc.NewProblem(events, users,
+		geacc.WithEuclideanSimilarity(dim, maxT),
+		geacc.WithConflictPairs(pairs),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range []struct{ nv, nu int }{{20, 200}, {50, 500}, {100, 1000}} {
+		p := instance(rng, size.nv, size.nu, 0.25)
+		ub := p.UpperBound()
+		fmt.Printf("|V|=%d |U|=%d (conflict density 0.25, relaxation bound %.1f)\n",
+			size.nv, size.nu, ub)
+		fmt.Printf("    %-12s %10s %10s %10s\n", "algorithm", "MaxSum", "% of UB", "time")
+		for _, algo := range []geacc.Algorithm{
+			geacc.Greedy, geacc.MinCostFlow, geacc.RandomV, geacc.RandomU,
+		} {
+			start := time.Now()
+			m, err := p.SolveOpts(algo, geacc.SolveOptions{Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if err := p.Validate(m); err != nil {
+				log.Fatalf("%v: %v", algo, err)
+			}
+			fmt.Printf("    %-12s %10.2f %9.1f%% %10s\n",
+				algo, m.MaxSum(), 100*m.MaxSum()/ub, elapsed.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape (paper Fig. 3): greedy wins MaxSum at a fraction of")
+	fmt.Println("mincostflow's cost; both dominate the random baselines.")
+}

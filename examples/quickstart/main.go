@@ -1,0 +1,50 @@
+// Quickstart: the paper's TABLE I instance end to end.
+//
+// Three events (capacities 5, 3, 2), five users (capacities 3, 1, 1, 2, 3),
+// explicit interestingness values, and one conflicting pair {v1, v3}. The
+// exact optimum is 4.39; Greedy-GEACC finds 4.28 and MinCostFlow-GEACC 4.13,
+// exactly the walkthroughs of Examples 1-3 in the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ebsnlab/geacc"
+)
+
+func main() {
+	problem, err := geacc.NewProblem(
+		[]geacc.Event{{Cap: 5}, {Cap: 3}, {Cap: 2}},
+		[]geacc.User{{Cap: 3}, {Cap: 1}, {Cap: 1}, {Cap: 2}, {Cap: 3}},
+		geacc.WithSimilarityMatrix([][]float64{
+			{0.93, 0.43, 0.84, 0.64, 0.65},
+			{0, 0.35, 0.19, 0.21, 0.4},
+			{0.86, 0.57, 0.78, 0.79, 0.68},
+		}),
+		geacc.WithConflictPairs([][2]int{{0, 2}}), // v1 and v3 clash
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TABLE I instance: %d events, %d users, upper bound %.2f\n\n",
+		problem.NumEvents(), problem.NumUsers(), problem.UpperBound())
+
+	for _, algo := range []geacc.Algorithm{geacc.Exact, geacc.Greedy, geacc.MinCostFlow} {
+		m, err := problem.Solve(algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := problem.Validate(m); err != nil {
+			log.Fatalf("%v produced an infeasible arrangement: %v", algo, err)
+		}
+		fmt.Printf("%-12s MaxSum = %.2f\n", algo, m.MaxSum())
+		for _, p := range m.SortedPairs() {
+			fmt.Printf("    v%d <- u%d  (interest %.2f)\n", p.V+1, p.U+1, p.Sim)
+		}
+		fmt.Println()
+	}
+}

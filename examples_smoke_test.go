@@ -1,0 +1,40 @@
+package geacc
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program end to end and spot
+// checks its output — the examples are documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile+run is slow")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	cases := map[string][]string{
+		"./examples/quickstart": {"MaxSum = 4.39", "MaxSum = 4.28", "MaxSum = 4.13"},
+		"./examples/conference": {"optimal arrangement", "greedy approximation"},
+		"./examples/meetup":     {"city weekend", "best-recruiting events", "sample itineraries"},
+		"./examples/comparison": {"|V|=20 |U|=200", "greedy", "mincostflow"},
+		"./examples/live":       {"week done", "feasible"},
+	}
+	for path, wants := range cases {
+		path, wants := path, wants
+		t.Run(strings.TrimPrefix(path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", path, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q\n%s", path, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ebsnlab/geacc
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package assignment implements the classical maximum-weight bipartite
+// matching (assignment) problem via the Hungarian algorithm (Kuhn-Munkres,
+// in the O(n³) shortest-augmenting-path formulation).
+//
+// The paper situates GEACC relative to this problem: with all capacities
+// one and no conflicts, GEACC *is* maximum-weight bipartite matching
+// (Section II). The package exists as an independently-implemented oracle:
+// tests cross-validate MinCostFlow-GEACC's reduction against it on that
+// special case, and it is useful in its own right for one-shot pairings.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve computes a maximum-weight matching of rows to columns given a
+// weight matrix (rows × cols, non-negative weights; zero weight means "do
+// not match"). It returns, for each row, the matched column or -1, plus the
+// total weight. Rows and columns are matched at most once.
+//
+// The implementation pads the rectangular problem to a square one with
+// zero-weight cells, runs min-cost assignment on negated weights with the
+// Jonker-Volgenant style potentials, and drops zero-weight pairs from the
+// result.
+func Solve(weights [][]float64) (rowMatch []int, total float64, err error) {
+	nr := len(weights)
+	if nr == 0 {
+		return nil, 0, nil
+	}
+	nc := len(weights[0])
+	for r, row := range weights {
+		if len(row) != nc {
+			return nil, 0, fmt.Errorf("assignment: row %d has %d columns, want %d", r, len(row), nc)
+		}
+		for c, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, 0, fmt.Errorf("assignment: weight (%d, %d) = %v invalid", r, c, w)
+			}
+		}
+	}
+	n := nr
+	if nc > n {
+		n = nc
+	}
+	// cost[i][j] = -weight (padded); we minimize cost = maximize weight.
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i < nr && j < nc {
+				cost[i][j] = -weights[i][j]
+			}
+		}
+	}
+
+	// Jonker-Volgenant / Hungarian with row-by-row augmentation. Arrays are
+	// 1-indexed internally (position 0 is the virtual root).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowMatch = make([]int, nr)
+	for i := range rowMatch {
+		rowMatch[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		i := p[j]
+		if i == 0 || i > nr || j > nc {
+			continue
+		}
+		if w := weights[i-1][j-1]; w > 0 {
+			rowMatch[i-1] = j - 1
+			total += w
+		}
+	}
+	return rowMatch, total, nil
+}

@@ -1,0 +1,187 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSquare(t *testing.T) {
+	// Classic 3x3: optimal picks 9 + 8 + 7 on the anti-diagonal pattern.
+	weights := [][]float64{
+		{1, 2, 9},
+		{8, 4, 3},
+		{5, 7, 6},
+	}
+	match, total, err := Solve(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 24 {
+		t.Fatalf("total = %v, want 24", total)
+	}
+	want := []int{2, 0, 1}
+	for i, w := range want {
+		if match[i] != w {
+			t.Fatalf("match = %v, want %v", match, want)
+		}
+	}
+}
+
+func TestSolveRectangular(t *testing.T) {
+	// More rows than columns: one row stays unmatched.
+	weights := [][]float64{
+		{5, 1},
+		{6, 2},
+		{7, 8},
+	}
+	match, total, err := Solve(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 14 { // 6 (row1->col0) + 8 (row2->col1)
+		t.Fatalf("total = %v, want 14", total)
+	}
+	if match[0] != -1 || match[1] != 0 || match[2] != 1 {
+		t.Fatalf("match = %v", match)
+	}
+
+	// More columns than rows.
+	weights = [][]float64{{1, 9, 3}}
+	match, total, err = Solve(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 || match[0] != 1 {
+		t.Fatalf("match = %v total = %v", match, total)
+	}
+}
+
+func TestSolveZeroWeightsUnmatched(t *testing.T) {
+	weights := [][]float64{
+		{0, 0},
+		{0, 0.5},
+	}
+	match, total, err := Solve(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0.5 {
+		t.Fatalf("total = %v", total)
+	}
+	if match[0] != -1 || match[1] != 1 {
+		t.Fatalf("match = %v: zero-weight pairs must stay unmatched", match)
+	}
+}
+
+func TestSolveEmptyAndErrors(t *testing.T) {
+	if m, total, err := Solve(nil); err != nil || m != nil || total != 0 {
+		t.Error("empty problem mishandled")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{-1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+// bruteMaxMatching enumerates all row->column injections.
+func bruteMaxMatching(weights [][]float64) float64 {
+	nc := 0
+	if len(weights) > 0 {
+		nc = len(weights[0])
+	}
+	usedCols := make([]bool, nc)
+	var rec func(r int) float64
+	rec = func(r int) float64 {
+		if r == len(weights) {
+			return 0
+		}
+		best := rec(r + 1) // leave row r unmatched
+		for c := 0; c < nc; c++ {
+			if usedCols[c] || weights[r][c] == 0 {
+				continue
+			}
+			usedCols[c] = true
+			if got := weights[r][c] + rec(r+1); got > best {
+				best = got
+			}
+			usedCols[c] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 1+rng.Intn(6), 1+rng.Intn(6)
+		weights := make([][]float64, nr)
+		for r := range weights {
+			weights[r] = make([]float64, nc)
+			for c := range weights[r] {
+				if rng.Float64() < 0.2 {
+					continue // leave a zero
+				}
+				weights[r][c] = math.Round(rng.Float64()*100) / 100
+			}
+		}
+		match, total, err := Solve(weights)
+		if err != nil {
+			return false
+		}
+		// Validity: injective, weights positive.
+		seen := make(map[int]bool)
+		var check float64
+		for r, c := range match {
+			if c == -1 {
+				continue
+			}
+			if seen[c] || weights[r][c] <= 0 {
+				return false
+			}
+			seen[c] = true
+			check += weights[r][c]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			return false
+		}
+		return math.Abs(total-bruteMaxMatching(weights)) <= 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLargeUniqueOptimum(t *testing.T) {
+	// Diagonal-dominant matrix: the identity matching is forced.
+	const n = 50
+	weights := make([][]float64, n)
+	for i := range weights {
+		weights[i] = make([]float64, n)
+		for j := range weights[i] {
+			weights[i][j] = 0.1
+			if i == j {
+				weights[i][j] = 1
+			}
+		}
+	}
+	match, total, err := Solve(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("total = %v, want %d", total, n)
+	}
+	for i, c := range match {
+		if c != i {
+			t.Fatalf("match[%d] = %d", i, c)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric names a Point column that RenderTables can pivot on.
+type Metric struct {
+	Name   string
+	Value  func(Point) float64
+	Format func(float64) string
+}
+
+// StandardMetrics are the three quantities every figure of the paper plots.
+func StandardMetrics() []Metric {
+	return []Metric{
+		{Name: "MaxSum", Value: func(p Point) float64 { return p.MaxSum },
+			Format: func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }},
+		{Name: "time (s)", Value: func(p Point) float64 { return p.Seconds },
+			Format: func(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }},
+		{Name: "memory (MB)", Value: func(p Point) float64 { return p.Bytes / (1 << 20) },
+			Format: func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }},
+	}
+}
+
+// ExtraMetrics builds metric columns from the Extra keys present in points.
+func ExtraMetrics(points []Point) []Metric {
+	keys := map[string]bool{}
+	for _, p := range points {
+		for k := range p.Extra {
+			keys[k] = true
+		}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	metrics := make([]Metric, 0, len(names))
+	for _, name := range names {
+		name := name
+		metrics = append(metrics, Metric{
+			Name:   name,
+			Value:  func(p Point) float64 { return p.Extra[name] },
+			Format: func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) },
+		})
+	}
+	return metrics
+}
+
+// RenderTables renders one pivot table (rows = x values, columns =
+// algorithms) per metric — the textual equivalent of the figure's curves.
+func RenderTables(title, xLabel string, points []Point, metrics []Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", title)
+	algos := algoOrder(points)
+	xs := xOrder(points)
+	byKey := make(map[string]Point, len(points))
+	for _, p := range points {
+		byKey[key(p.X, p.Algo)] = p
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "\n%s\n", m.Name)
+		w := newTableWriter(&b)
+		header := append([]string{xLabel}, algos...)
+		w.row(header)
+		for _, x := range xs {
+			row := []string{formatX(x)}
+			for _, a := range algos {
+				p, ok := byKey[key(x, a)]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, m.Format(m.Value(p)))
+			}
+			w.row(row)
+		}
+		w.flush()
+	}
+	return b.String()
+}
+
+// WriteCSV dumps points as one flat CSV: experiment, x, algo, the standard
+// metrics, then any Extra keys (union over points, sorted).
+func WriteCSV(w io.Writer, points []Point) error {
+	extras := ExtraMetrics(points)
+	cw := csv.NewWriter(w)
+	header := []string{"experiment", "x", "algo", "max_sum", "seconds", "bytes"}
+	for _, m := range extras {
+		header = append(header, m.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Experiment,
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			p.Algo,
+			strconv.FormatFloat(p.MaxSum, 'g', -1, 64),
+			strconv.FormatFloat(p.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(p.Bytes, 'g', -1, 64),
+		}
+		for _, m := range extras {
+			rec = append(rec, strconv.FormatFloat(m.Value(p), 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// algoOrder returns the algorithms in first-appearance order.
+func algoOrder(points []Point) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range points {
+		if !seen[p.Algo] {
+			seen[p.Algo] = true
+			out = append(out, p.Algo)
+		}
+	}
+	return out
+}
+
+// xOrder returns the swept values in ascending order.
+func xOrder(points []Point) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range points {
+		if !seen[p.X] {
+			seen[p.X] = true
+			out = append(out, p.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func key(x float64, algo string) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) + "|" + algo
+}
+
+func formatX(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// tableWriter renders aligned columns.
+type tableWriter struct {
+	out  *strings.Builder
+	rows [][]string
+}
+
+func newTableWriter(out *strings.Builder) *tableWriter {
+	return &tableWriter{out: out}
+}
+
+func (t *tableWriter) row(cells []string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) flush() {
+	if len(t.rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				t.out.WriteString("  ")
+			}
+			fmt.Fprintf(t.out, "%-*s", widths[i], c)
+		}
+		t.out.WriteByte('\n')
+	}
+	t.rows = t.rows[:0]
+}
+
+// WriteJSON dumps points as a JSON array (one object per point, Extra keys
+// inlined under "extra"), for downstream plotting tools.
+func WriteJSON(w io.Writer, points []Point) error {
+	type pointJSON struct {
+		Experiment string             `json:"experiment"`
+		X          float64            `json:"x"`
+		Algo       string             `json:"algo"`
+		MaxSum     float64            `json:"max_sum"`
+		Seconds    float64            `json:"seconds"`
+		Bytes      float64            `json:"bytes"`
+		Extra      map[string]float64 `json:"extra,omitempty"`
+	}
+	docs := make([]pointJSON, len(points))
+	for i, p := range points {
+		docs[i] = pointJSON{
+			Experiment: p.Experiment, X: p.X, Algo: p.Algo,
+			MaxSum: p.MaxSum, Seconds: p.Seconds, Bytes: p.Bytes,
+			Extra: p.Extra,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs used for one-line charts.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block chart, scaled to the series'
+// own [min, max]. NaNs render as spaces; a constant series renders at the
+// lowest level.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}
+
+// RenderSparklines renders, for each metric, one sparkline per algorithm
+// over the experiment's swept values — a compact textual rendition of the
+// figure's curves, appended below the pivot tables by geacc-bench.
+func RenderSparklines(xLabel string, points []Point, metrics []Metric) string {
+	algos := algoOrder(points)
+	xs := xOrder(points)
+	if len(algos) == 0 || len(xs) < 2 {
+		return ""
+	}
+	byKey := make(map[string]Point, len(points))
+	for _, p := range points {
+		byKey[key(p.X, p.Algo)] = p
+	}
+	width := 0
+	for _, a := range algos {
+		if len(a) > width {
+			width = len(a)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "curves over %s ∈ %s\n", xLabel, formatXs(xs))
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "  %s\n", m.Name)
+		for _, a := range algos {
+			series := make([]float64, len(xs))
+			for i, x := range xs {
+				if p, ok := byKey[key(x, a)]; ok {
+					series[i] = m.Value(p)
+				} else {
+					series[i] = math.NaN()
+				}
+			}
+			fmt.Fprintf(&b, "    %-*s  %s  (%.4g → %.4g)\n",
+				width, a, Sparkline(series), first(series), last(series))
+		}
+	}
+	return b.String()
+}
+
+func formatXs(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = formatX(x)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func first(xs []float64) float64 {
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			return x
+		}
+	}
+	return math.NaN()
+}
+
+func last(xs []float64) float64 {
+	for i := len(xs) - 1; i >= 0; i-- {
+		if !math.IsNaN(xs[i]) {
+			return xs[i]
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("constant = %q", got)
+	}
+	if got := Sparkline([]float64{1, math.NaN(), 3}); got != "▁ █" {
+		t.Errorf("NaN gap = %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN()}); got != " " {
+		t.Errorf("all-NaN = %q", got)
+	}
+}
+
+func TestSparklineMonotone(t *testing.T) {
+	// Level must be non-decreasing for non-decreasing input.
+	values := []float64{1, 2, 4, 8, 16, 32}
+	s := []rune(Sparkline(values))
+	for i := 1; i < len(s); i++ {
+		if runeLevel(s[i]) < runeLevel(s[i-1]) {
+			t.Fatalf("levels decreased: %q", string(s))
+		}
+	}
+}
+
+func runeLevel(r rune) int {
+	for i, l := range sparkLevels {
+		if l == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRenderSparklines(t *testing.T) {
+	points := []Point{
+		{Experiment: "e", X: 1, Algo: "greedy", MaxSum: 1, Seconds: 0.1},
+		{Experiment: "e", X: 2, Algo: "greedy", MaxSum: 2, Seconds: 0.2},
+		{Experiment: "e", X: 1, Algo: "random-v", MaxSum: 0.5, Seconds: 0.01},
+		{Experiment: "e", X: 2, Algo: "random-v", MaxSum: 0.6, Seconds: 0.01},
+	}
+	out := RenderSparklines("|V|", points, StandardMetrics())
+	for _, want := range []string{"curves over |V|", "{1, 2}", "greedy", "random-v", "MaxSum", "time (s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sparklines missing %q:\n%s", want, out)
+		}
+	}
+	// Single-x series render nothing (no curve to show).
+	if got := RenderSparklines("|V|", points[:1], StandardMetrics()); got != "" {
+		t.Errorf("single-point sparkline = %q", got)
+	}
+	if got := RenderSparklines("|V|", nil, StandardMetrics()); got != "" {
+		t.Errorf("empty sparkline block = %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	points := []Point{
+		{Experiment: "e", X: 1, Algo: "a", MaxSum: 2, Seconds: 0.5, Bytes: 100,
+			Extra: map[string]float64{"prunes": 7}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0]["algo"] != "a" || decoded[0]["max_sum"] != 2.0 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	extra := decoded[0]["extra"].(map[string]any)
+	if extra["prunes"] != 7.0 {
+		t.Fatalf("extra = %+v", extra)
+	}
+}

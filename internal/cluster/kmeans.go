@@ -1,0 +1,165 @@
+// Package cluster provides seeded k-means clustering. The paper's
+// preprocessing clusters events and users by location to extract per-city
+// subpopulations ("we cluster events and users based on their locations and
+// focus on the events/users located in the same city"); the dataset
+// package's world generator uses this to reproduce that step.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a d-dimensional coordinate.
+type Point []float64
+
+// Result is a clustering outcome.
+type Result struct {
+	Centers []Point
+	// Assign[i] is the cluster index of input point i.
+	Assign []int
+	// Sizes[c] counts points in cluster c.
+	Sizes []int
+	// Inertia is the total squared distance of points to their centers.
+	Inertia float64
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// k-means++ seeding, deterministic for a given seed. It runs at most
+// maxIter iterations (≤ 0 means 100). k is clamped to [1, len(points)].
+func KMeans(points []Point, k int, seed int64, maxIter int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	centers := seedPlusPlus(rng, points, k)
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, center := range centers {
+				if dd := sqDist(p, center); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters are re-seeded with the point
+		// farthest from its center, the standard fix.
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(Point, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, x := range p {
+				sums[c][j] += x
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = farthestPoint(points, centers, assign)
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centers[c] = sums[c]
+		}
+	}
+
+	res := &Result{Centers: centers, Assign: assign, Sizes: make([]int, k)}
+	for i, p := range points {
+		res.Sizes[assign[i]]++
+		res.Inertia += sqDist(p, centers[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centers: the first uniformly, the rest
+// proportional to squared distance from the nearest chosen center.
+func seedPlusPlus(rng *rand.Rand, points []Point, k int) []Point {
+	centers := make([]Point, 0, k)
+	centers = append(centers, clone(points[rng.Intn(len(points))]))
+	minD := make([]float64, len(points))
+	for i, p := range points {
+		minD[i] = sqDist(p, centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, dd := range minD {
+			total += dd
+		}
+		var next int
+		if total == 0 {
+			next = rng.Intn(len(points)) // all points coincide with centers
+		} else {
+			x := rng.Float64() * total
+			for i, dd := range minD {
+				x -= dd
+				if x < 0 {
+					next = i
+					break
+				}
+			}
+		}
+		centers = append(centers, clone(points[next]))
+		for i, p := range points {
+			if dd := sqDist(p, centers[len(centers)-1]); dd < minD[i] {
+				minD[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+func farthestPoint(points []Point, centers []Point, assign []int) Point {
+	far, farD := 0, -1.0
+	for i, p := range points {
+		if dd := sqDist(p, centers[assign[i]]); dd > farD {
+			far, farD = i, dd
+		}
+	}
+	return clone(points[far])
+}
+
+func sqDist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(p Point) Point {
+	out := make(Point, len(p))
+	copy(out, p)
+	return out
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(rng *rand.Rand, centers []Point, n int, spread float64) ([]Point, []int) {
+	var points []Point
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			p := make(Point, len(center))
+			for j := range p {
+				p[j] = center[j] + rng.NormFloat64()*spread
+			}
+			points = append(points, p)
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansRecoversWellSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := []Point{{0, 0}, {100, 0}, {0, 100}}
+	points, truth := blobs(rng, centers, 50, 2)
+	res, err := KMeans(points, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ground-truth blob must map to exactly one cluster (purity 1 for
+	// separation ≫ spread).
+	mapping := map[int]int{}
+	for i, c := range res.Assign {
+		if prev, ok := mapping[truth[i]]; ok && prev != c {
+			t.Fatalf("blob %d split across clusters %d and %d", truth[i], prev, c)
+		}
+		mapping[truth[i]] = c
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("blobs merged: %v", mapping)
+	}
+	for c, size := range res.Sizes {
+		if size != 50 {
+			t.Fatalf("cluster %d has %d points, want 50", c, size)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := blobs(rng, []Point{{0, 0}, {50, 50}}, 30, 5)
+	a, err := KMeans(points, 2, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 2, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different clustering")
+		}
+	}
+}
+
+func TestKMeansClampsAndErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 1, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans([]Point{{1, 2}, {1}}, 2, 1, 0); err == nil {
+		t.Error("ragged input accepted")
+	}
+	// k > n clamps to n.
+	res, err := KMeans([]Point{{1}, {2}}, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("k not clamped: %d centers", len(res.Centers))
+	}
+	// k < 1 clamps to 1.
+	res, err = KMeans([]Point{{1}, {2}, {3}}, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 || res.Sizes[0] != 3 {
+		t.Fatalf("k=1 clustering wrong: %+v", res)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := []Point{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(points, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia %v on identical points", res.Inertia)
+	}
+}
+
+func TestKMeansInvariantsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		d := 1 + rng.Intn(3)
+		points := make([]Point, n)
+		for i := range points {
+			p := make(Point, d)
+			for j := range p {
+				p[j] = rng.Float64() * 100
+			}
+			points[i] = p
+		}
+		k := 1 + rng.Intn(5)
+		res, err := KMeans(points, k, seed, 0)
+		if err != nil {
+			return false
+		}
+		// Assignments in range, sizes add up, every point is assigned to
+		// its (weakly) nearest center, inertia non-negative.
+		total := 0
+		for _, s := range res.Sizes {
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		for i, p := range points {
+			c := res.Assign[i]
+			if c < 0 || c >= len(res.Centers) {
+				return false
+			}
+			own := sqDist(p, res.Centers[c])
+			for _, center := range res.Centers {
+				if sqDist(p, center) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return res.Inertia >= 0 && !math.IsNaN(res.Inertia)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package conflict
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule describes when and where one event takes place. It exists to
+// derive conflict pairs the way the paper's introduction motivates them: a
+// hiking trip from 8:00 to 12:00 conflicts with a badminton game from 9:00
+// to 11:00 (overlap), and with a basketball game starting 11:30 at a court
+// an hour away (not enough travel slack).
+type Schedule struct {
+	Start float64 // event start time (any consistent unit, e.g. minutes)
+	End   float64 // event end time; must be >= Start
+	X, Y  float64 // venue coordinates (any consistent distance unit)
+}
+
+// Validate reports an error if the schedule's interval is inverted or any
+// field is not finite.
+func (s Schedule) Validate() error {
+	for _, f := range []float64{s.Start, s.End, s.X, s.Y} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("conflict: non-finite schedule field in %+v", s)
+		}
+	}
+	if s.End < s.Start {
+		return fmt.Errorf("conflict: inverted interval [%v, %v]", s.Start, s.End)
+	}
+	return nil
+}
+
+// Overlaps reports whether the two events' time intervals intersect in more
+// than a single instant (back-to-back events do not overlap).
+func (s Schedule) Overlaps(o Schedule) bool {
+	return s.Start < o.End && o.Start < s.End
+}
+
+// TravelTime returns the time needed to move between the two venues at the
+// given speed (distance units per time unit).
+func (s Schedule) TravelTime(o Schedule, speed float64) float64 {
+	dx, dy := s.X-o.X, s.Y-o.Y
+	return math.Hypot(dx, dy) / speed
+}
+
+// ConflictsWith reports whether a single person cannot attend both events:
+// either the intervals overlap, or the gap between one event's end and the
+// other's start is shorter than the travel time between the venues.
+func (s Schedule) ConflictsWith(o Schedule, speed float64) bool {
+	if s.Overlaps(o) {
+		return true
+	}
+	first, second := s, o
+	if o.End <= s.Start {
+		first, second = o, s
+	}
+	gap := second.Start - first.End
+	return gap < first.TravelTime(second, speed)
+}
+
+// FromSchedules derives the conflict graph of a set of event schedules:
+// events i and j conflict iff ConflictsWith holds at the given travel speed.
+// speed must be positive.
+func FromSchedules(schedules []Schedule, speed float64) (*Graph, error) {
+	if speed <= 0 {
+		return nil, fmt.Errorf("conflict: non-positive travel speed %v", speed)
+	}
+	for i, s := range schedules {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	g := New(len(schedules))
+	for i := range schedules {
+		for j := i + 1; j < len(schedules); j++ {
+			if schedules[i].ConflictsWith(schedules[j], speed) {
+				g.Add(i, j)
+			}
+		}
+	}
+	return g, nil
+}

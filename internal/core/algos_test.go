@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/mincostflow"
+)
+
+func TestGreedyEmptyAndDegenerate(t *testing.T) {
+	empty, err := NewMatrixInstance(nil, nil, nil, [][]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Greedy(empty); m.Size() != 0 {
+		t.Error("greedy on empty instance")
+	}
+	zeroCaps, err := NewMatrixInstance(
+		[]Event{{Cap: 0}}, []User{{Cap: 0}}, nil, [][]float64{{0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Greedy(zeroCaps); m.Size() != 0 {
+		t.Error("greedy matched despite zero capacities")
+	}
+	allZeroSim, err := NewMatrixInstance(
+		[]Event{{Cap: 2}}, []User{{Cap: 2}}, nil, [][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Greedy(allZeroSim); m.Size() != 0 {
+		t.Error("greedy matched a zero-similarity pair")
+	}
+}
+
+func TestGreedyPicksGloballyBestFirst(t *testing.T) {
+	// With all capacities 1 and no conflicts, greedy must take pairs in
+	// global similarity order: (v0,u1)=0.9 then (v1,u0)=0.6 — not
+	// (v0,u0)=0.8 which would block the 0.9.
+	in, err := NewMatrixInstance(
+		[]Event{{Cap: 1}, {Cap: 1}},
+		[]User{{Cap: 1}, {Cap: 1}},
+		nil,
+		[][]float64{{0.8, 0.9}, {0.6, 0.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Greedy(in)
+	if !m.Contains(0, 1) || !m.Contains(1, 0) {
+		t.Fatalf("greedy order wrong: %v", m.SortedPairs())
+	}
+	if got := m.MaxSum(); abs(got-1.5) > 1e-12 {
+		t.Fatalf("MaxSum = %v", got)
+	}
+}
+
+func TestGreedyHonorsConflictsAcrossHeapPushes(t *testing.T) {
+	// u0 takes v0 (0.9); v1 conflicts with v0, so u0 must skip v1 (0.8)
+	// and u1 picks it up instead.
+	in, err := NewMatrixInstance(
+		[]Event{{Cap: 1}, {Cap: 1}},
+		[]User{{Cap: 2}, {Cap: 1}},
+		conflict.FromPairs(2, [][2]int{{0, 1}}),
+		[][]float64{{0.9, 0.1}, {0.8, 0.7}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Greedy(in)
+	mustValidate(t, in, m, "greedy")
+	if !m.Contains(0, 0) || !m.Contains(1, 1) || m.Size() != 2 {
+		t.Fatalf("greedy result %v", m.SortedPairs())
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := randVectorInstance(rng, 5, 12, 3, 4, 3, 0.4)
+	a := Greedy(in).SortedPairs()
+	b := Greedy(in).SortedPairs()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic matching")
+		}
+	}
+}
+
+func TestMinCostFlowEmptyAndZeroCap(t *testing.T) {
+	empty, err := NewMatrixInstance(nil, nil, nil, [][]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MinCostFlow(empty)
+	if res.Matching.Size() != 0 || res.Delta != 0 {
+		t.Error("mincostflow on empty instance")
+	}
+	zeroCap, err := NewMatrixInstance(
+		[]Event{{Cap: 0}}, []User{{Cap: 3}}, nil, [][]float64{{0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := MinCostFlow(zeroCap).Matching; m.Size() != 0 {
+		t.Error("flow through zero-capacity event")
+	}
+}
+
+func TestMinCostFlowDeltaWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		in := randMatrixInstance(rng, 1+rng.Intn(4), 1+rng.Intn(6), 3, 3, rng.Float64())
+		res := MinCostFlow(in)
+		sv, su := in.CapSums()
+		deltaMax := sv
+		if su < deltaMax {
+			deltaMax = su
+		}
+		if res.Delta < 0 || res.Delta > deltaMax {
+			t.Fatalf("Delta = %d outside [0, %d]", res.Delta, deltaMax)
+		}
+		if int64(res.Relaxed.Size()) > res.Delta {
+			t.Fatalf("relaxed matching larger than flow amount")
+		}
+	}
+}
+
+func TestMinCostFlowRelaxedMatchesFullSweep(t *testing.T) {
+	// The incremental early-stop must find the same MaxSum(M∅) as the
+	// paper's literal sweep over all Δ (reconstructed here by solving a
+	// fresh min-cost flow of every amount).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		in := randMatrixInstance(rng, 1+rng.Intn(3), 1+rng.Intn(4), 2, 2, 0)
+		got := RelaxedUpperBound(in)
+		want := sweepRelaxedMaxSum(in)
+		if abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: incremental %v != full sweep %v", trial, got, want)
+		}
+	}
+}
+
+// sweepRelaxedMaxSum reproduces lines 3-7 of Algorithm 1 literally: for each
+// Δ in [1, Δmax], compute a fresh min-cost flow of amount Δ and take the best
+// Δ − cost(Δ). Used only as a test oracle.
+func sweepRelaxedMaxSum(in *Instance) float64 {
+	sv, su := in.CapSums()
+	deltaMax := sv
+	if su < deltaMax {
+		deltaMax = su
+	}
+	best := 0.0
+	for delta := int64(1); delta <= deltaMax; delta++ {
+		maxSum, ok := relaxedAtDelta(in, delta)
+		if !ok {
+			break
+		}
+		if maxSum > best {
+			best = maxSum
+		}
+	}
+	return best
+}
+
+// relaxedAtDelta computes, from scratch, a minimum-cost flow of exactly
+// delta units on the Algorithm 1 network and returns Δ − cost(Δ). ok is
+// false when delta units are infeasible.
+func relaxedAtDelta(in *Instance, delta int64) (float64, bool) {
+	nv, nu := in.NumEvents(), in.NumUsers()
+	s, t := 0, 1+nv+nu
+	g := mincostflow.NewGraph(nv + nu + 2)
+	for v, e := range in.Events {
+		g.AddArc(s, 1+v, int64(e.Cap), 0)
+	}
+	for u, usr := range in.Users {
+		g.AddArc(1+nv+u, t, int64(usr.Cap), 0)
+	}
+	for v := 0; v < nv; v++ {
+		for u := 0; u < nu; u++ {
+			g.AddArc(1+v, 1+nv+u, 1, 1-in.Similarity(v, u))
+		}
+	}
+	sv := mincostflow.NewSolver(g, s, t)
+	flow, cost := sv.MinCostFlow(delta)
+	if flow != delta {
+		return 0, false
+	}
+	return float64(delta) - cost, true
+}
+
+func TestRandomBaselinesFeasibleAndSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	in := randMatrixInstance(rng, 4, 10, 4, 3, 0.5)
+	for name, solve := range map[string]func(*Instance, *rand.Rand) *Matching{
+		"random-v": RandomV,
+		"random-u": RandomU,
+	} {
+		a := solve(in, rand.New(rand.NewSource(7)))
+		mustValidate(t, in, a, name)
+		b := solve(in, rand.New(rand.NewSource(7)))
+		if a.MaxSum() != b.MaxSum() || a.Size() != b.Size() {
+			t.Errorf("%s not deterministic under a fixed seed", name)
+		}
+		c := solve(in, rand.New(rand.NewSource(8)))
+		_ = c // different seed may differ; only feasibility matters
+		mustValidate(t, in, c, name)
+	}
+}
+
+func TestRandomBaselinesEmptyInstance(t *testing.T) {
+	in, err := NewMatrixInstance(nil, nil, nil, [][]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if RandomV(in, rng).Size() != 0 || RandomU(in, rng).Size() != 0 {
+		t.Error("baselines on empty instance")
+	}
+}
+
+func TestSolverRegistry(t *testing.T) {
+	names := SolverNames()
+	want := []string{"exact", "greedy", "mincostflow", "random-u", "random-v"}
+	if len(names) != len(want) {
+		t.Fatalf("SolverNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("SolverNames = %v, want %v", names, want)
+		}
+	}
+	if _, err := LookupSolver("greedy"); err != nil {
+		t.Errorf("LookupSolver(greedy): %v", err)
+	}
+	if _, err := LookupSolver("nope"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	rng := rand.New(rand.NewSource(25))
+	in := randMatrixInstance(rng, 2, 3, 2, 2, 0.3)
+	for name, solve := range Solvers() {
+		m := solve(in, rng)
+		mustValidate(t, in, m, name)
+	}
+}
+
+func TestGreedyMatrixAndEquivalentVectorAgree(t *testing.T) {
+	// Build a vector instance, export its similarity matrix, and check that
+	// greedy on both representations yields the same MaxSum.
+	rng := rand.New(rand.NewSource(26))
+	vin := randVectorInstance(rng, 4, 7, 3, 3, 2, 0.3)
+	matrix := make([][]float64, vin.NumEvents())
+	for v := range matrix {
+		matrix[v] = make([]float64, vin.NumUsers())
+		for u := range matrix[v] {
+			matrix[v][u] = vin.Similarity(v, u)
+		}
+	}
+	min, err := NewMatrixInstance(vin.Events, vin.Users, vin.Conflicts, matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := Greedy(vin).MaxSum(), Greedy(min).MaxSum(); abs(a-b) > 1e-9 {
+		t.Fatalf("vector greedy %v != matrix greedy %v", a, b)
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	cases := map[IndexKind]string{
+		IndexChunked:   "chunked",
+		IndexSorted:    "sorted",
+		IndexKDTree:    "kdtree",
+		IndexIDistance: "idistance",
+		IndexVAFile:    "vafile",
+		IndexParallel:  "parallel",
+		IndexLSH:       "lsh",
+		IndexKind(99):  "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("IndexKind(%d).String() = %q", int(k), k.String())
+		}
+	}
+}

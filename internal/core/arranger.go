@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Arranger maintains an event-participant arrangement under *online*
+// arrival of events and users — the situation a live EBSN actually faces
+// (the paper solves the static snapshot; this is the natural operational
+// extension). Arrivals are matched greedily against the current state;
+// event cancellations release and re-place the affected users; Rebalance
+// recomputes the arrangement with the batch Greedy-GEACC when drift
+// accumulates.
+//
+// All operations preserve feasibility (capacities, conflicts, positive
+// similarity), which is re-checkable at any time via Snapshot + Validate.
+type Arranger struct {
+	simFn sim.Func
+
+	events    []Event
+	users     []User
+	remCapV   []int
+	remCapU   []int
+	conflicts map[int]map[int]bool // symmetric adjacency over event ids
+
+	matching *Matching
+}
+
+// NewArranger returns an empty dynamic arrangement using similarity f.
+func NewArranger(f sim.Func) (*Arranger, error) {
+	if f == nil {
+		return nil, fmt.Errorf("core: nil similarity function")
+	}
+	return &Arranger{
+		simFn:     f,
+		conflicts: make(map[int]map[int]bool),
+		matching:  NewMatching(),
+	}, nil
+}
+
+// NumEvents returns the number of events ever added (including cancelled
+// ones, whose capacity is zeroed).
+func (a *Arranger) NumEvents() int { return len(a.events) }
+
+// NumUsers returns the number of users added.
+func (a *Arranger) NumUsers() int { return len(a.users) }
+
+// MaxSum returns the current arrangement's objective.
+func (a *Arranger) MaxSum() float64 { return a.matching.MaxSum() }
+
+// Matching returns a copy of the current arrangement.
+func (a *Arranger) Matching() *Matching { return a.matching.Clone() }
+
+// UserEvents returns the events user u currently attends.
+func (a *Arranger) UserEvents(u int) []int { return a.matching.UserEvents(u) }
+
+// sim returns the similarity between event v and user u.
+func (a *Arranger) sim(v, u int) float64 {
+	return a.simFn(a.events[v].Attrs, a.users[u].Attrs)
+}
+
+func (a *Arranger) conflicting(i, j int) bool {
+	return a.conflicts[i][j]
+}
+
+func (a *Arranger) conflictsWithMatched(v, u int) bool {
+	for _, w := range a.matching.UserEvents(u) {
+		if a.conflicting(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEvent registers a new event, declares its conflicts with existing
+// events, and greedily recruits the most interested users with spare
+// capacity. It returns the event's id.
+func (a *Arranger) AddEvent(e Event, conflictsWith []int) (int, error) {
+	if e.Cap < 0 {
+		return 0, fmt.Errorf("core: negative event capacity %d", e.Cap)
+	}
+	v := len(a.events)
+	for _, w := range conflictsWith {
+		if w < 0 || w >= v {
+			return 0, fmt.Errorf("core: conflict with unknown event %d", w)
+		}
+	}
+	a.events = append(a.events, e)
+	a.remCapV = append(a.remCapV, e.Cap)
+	for _, w := range conflictsWith {
+		if a.conflicts[v] == nil {
+			a.conflicts[v] = make(map[int]bool)
+		}
+		if a.conflicts[w] == nil {
+			a.conflicts[w] = make(map[int]bool)
+		}
+		a.conflicts[v][w] = true
+		a.conflicts[w][v] = true
+	}
+	a.recruitForEvent(v)
+	return v, nil
+}
+
+// AddUser registers a new user and greedily arranges them into their most
+// interesting feasible events. It returns the user's id.
+func (a *Arranger) AddUser(u User) (int, error) {
+	if u.Cap < 0 {
+		return 0, fmt.Errorf("core: negative user capacity %d", u.Cap)
+	}
+	id := len(a.users)
+	a.users = append(a.users, u)
+	a.remCapU = append(a.remCapU, u.Cap)
+	a.placeUser(id)
+	return id, nil
+}
+
+// RemoveUser withdraws a user from the platform: their assignments are
+// released (freeing event seats) and the affected events greedily recruit
+// replacements. Removing twice is a no-op.
+func (a *Arranger) RemoveUser(u int) error {
+	if u < 0 || u >= len(a.users) {
+		return fmt.Errorf("core: unknown user %d", u)
+	}
+	affected := append([]int(nil), a.matching.UserEvents(u)...)
+	rebuilt := NewMatching()
+	for _, p := range a.matching.Pairs() {
+		if p.U == u {
+			a.remCapV[p.V]++
+			continue
+		}
+		rebuilt.Add(p.V, p.U, p.Sim)
+	}
+	a.matching = rebuilt
+	a.users[u].Cap = 0
+	a.remCapU[u] = 0
+	for _, v := range affected {
+		a.recruitForEvent(v)
+	}
+	return nil
+}
+
+// CancelEvent removes an event: its assignments are released and every
+// affected user is greedily re-placed. Cancelling twice is a no-op.
+func (a *Arranger) CancelEvent(v int) error {
+	if v < 0 || v >= len(a.events) {
+		return fmt.Errorf("core: unknown event %d", v)
+	}
+	affected := append([]int(nil), a.matching.EventUsers(v)...)
+	// Rebuild the matching without event v.
+	rebuilt := NewMatching()
+	for _, p := range a.matching.Pairs() {
+		if p.V == v {
+			a.remCapU[p.U]++
+			continue
+		}
+		rebuilt.Add(p.V, p.U, p.Sim)
+	}
+	a.matching = rebuilt
+	a.events[v].Cap = 0
+	a.remCapV[v] = 0
+	for _, u := range affected {
+		a.placeUser(u)
+	}
+	return nil
+}
+
+// recruitForEvent fills event v with the most interested feasible users.
+func (a *Arranger) recruitForEvent(v int) {
+	type cand struct {
+		u int
+		s float64
+	}
+	var cands []cand
+	for u := range a.users {
+		if a.remCapU[u] == 0 {
+			continue
+		}
+		if s := a.sim(v, u); s > 0 {
+			cands = append(cands, cand{u, s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].u < cands[j].u
+	})
+	for _, c := range cands {
+		if a.remCapV[v] == 0 {
+			return
+		}
+		if a.remCapU[c.u] == 0 || a.conflictsWithMatched(v, c.u) {
+			continue
+		}
+		a.matching.Add(v, c.u, c.s)
+		a.remCapV[v]--
+		a.remCapU[c.u]--
+	}
+}
+
+// placeUser arranges user u into their most interesting feasible events.
+func (a *Arranger) placeUser(u int) {
+	type cand struct {
+		v int
+		s float64
+	}
+	var cands []cand
+	for v := range a.events {
+		if a.remCapV[v] == 0 || a.matching.Contains(v, u) {
+			continue
+		}
+		if s := a.sim(v, u); s > 0 {
+			cands = append(cands, cand{v, s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, c := range cands {
+		if a.remCapU[u] == 0 {
+			return
+		}
+		if a.remCapV[c.v] == 0 || a.conflictsWithMatched(c.v, u) {
+			continue
+		}
+		a.matching.Add(c.v, u, c.s)
+		a.remCapV[c.v]--
+		a.remCapU[u]--
+	}
+}
+
+// Snapshot freezes the current state into a static Instance (cancelled
+// events keep capacity zero) paired with the current matching, so callers
+// can Validate, serialize, or solve it from scratch.
+func (a *Arranger) Snapshot() (*Instance, *Matching, error) {
+	pairs := make([][2]int, 0)
+	for i, adj := range a.conflicts {
+		for j := range adj {
+			if i < j {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	in, err := NewInstance(
+		append([]Event(nil), a.events...),
+		append([]User(nil), a.users...),
+		conflict.FromPairs(len(a.events), pairs),
+		a.simFn,
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, a.matching.Clone(), nil
+}
+
+// Rebalance re-solves the current snapshot with batch Greedy-GEACC and
+// adopts the result if it improves MaxSum. It returns the improvement
+// (0 when the incremental arrangement was already at least as good).
+func (a *Arranger) Rebalance() (float64, error) {
+	in, _, err := a.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	fresh := Greedy(in)
+	gain := fresh.MaxSum() - a.matching.MaxSum()
+	if gain <= 0 {
+		return 0, nil
+	}
+	a.matching = fresh
+	// Recompute remaining capacities from the adopted matching.
+	for v := range a.events {
+		a.remCapV[v] = a.events[v].Cap - len(fresh.EventUsers(v))
+	}
+	for u := range a.users {
+		a.remCapU[u] = a.users[u].Cap - len(fresh.UserEvents(u))
+	}
+	return gain, nil
+}

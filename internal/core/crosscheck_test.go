@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ebsnlab/geacc/internal/assignment"
+)
+
+// TestUnitCapacityNoConflictsEqualsHungarian cross-validates the min-cost
+// flow reduction against an independently implemented Hungarian algorithm:
+// with all capacities one and CF = ∅, GEACC *is* maximum-weight bipartite
+// matching (Section II of the paper), so MinCostFlow-GEACC (exact on that
+// special case by Lemma 1) must equal the Hungarian optimum.
+func TestUnitCapacityNoConflictsEqualsHungarian(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv, nu := 1+rng.Intn(8), 1+rng.Intn(8)
+		events := make([]Event, nv)
+		for i := range events {
+			events[i] = Event{Cap: 1}
+		}
+		users := make([]User, nu)
+		for i := range users {
+			users[i] = User{Cap: 1}
+		}
+		matrix := make([][]float64, nv)
+		for v := range matrix {
+			matrix[v] = make([]float64, nu)
+			for u := range matrix[v] {
+				if rng.Float64() < 0.2 {
+					continue
+				}
+				matrix[v][u] = float64(1+rng.Intn(999)) / 1000
+			}
+		}
+		in, err := NewMatrixInstance(events, users, nil, matrix)
+		if err != nil {
+			return false
+		}
+		geaccOpt := MinCostFlow(in).Matching.MaxSum()
+		_, hungarianOpt, err := assignment.Solve(matrix)
+		if err != nil {
+			return false
+		}
+		return abs(geaccOpt-hungarianOpt) <= 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnitCapacityExactEqualsHungarian runs the same cross-check against
+// Prune-GEACC.
+func TestUnitCapacityExactEqualsHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		nv, nu := 1+rng.Intn(4), 1+rng.Intn(5)
+		events := make([]Event, nv)
+		for i := range events {
+			events[i] = Event{Cap: 1}
+		}
+		users := make([]User, nu)
+		for i := range users {
+			users[i] = User{Cap: 1}
+		}
+		matrix := make([][]float64, nv)
+		for v := range matrix {
+			matrix[v] = make([]float64, nu)
+			for u := range matrix[v] {
+				matrix[v][u] = float64(rng.Intn(1000)) / 1000
+			}
+		}
+		in, err := NewMatrixInstance(events, users, nil, matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hungarianOpt, err := assignment.Solve(matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abs(m.MaxSum()-hungarianOpt) > 1e-9 {
+			t.Fatalf("trial %d: exact %v != hungarian %v", trial, m.MaxSum(), hungarianOpt)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "sort"
+
+// MatchingDiff describes how arrangement b differs from arrangement a.
+// Platforms use it to notify users after a rebalance: who gained an event,
+// who lost one.
+type MatchingDiff struct {
+	// Added pairs appear in b but not a; Removed pairs appear in a but not
+	// b. Both are sorted by (V, U).
+	Added   []Assignment
+	Removed []Assignment
+	// Gain = MaxSum(b) − MaxSum(a).
+	Gain float64
+}
+
+// Empty reports whether the two arrangements are identical.
+func (d MatchingDiff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// AffectedUsers returns the users whose itinerary changed, ascending.
+func (d MatchingDiff) AffectedUsers() []int {
+	seen := map[int]bool{}
+	for _, p := range d.Added {
+		seen[p.U] = true
+	}
+	for _, p := range d.Removed {
+		seen[p.U] = true
+	}
+	users := make([]int, 0, len(seen))
+	for u := range seen {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	return users
+}
+
+// Diff computes the change set from a to b.
+func Diff(a, b *Matching) MatchingDiff {
+	d := MatchingDiff{Gain: b.MaxSum() - a.MaxSum()}
+	for _, p := range b.SortedPairs() {
+		if !a.Contains(p.V, p.U) {
+			d.Added = append(d.Added, p)
+		}
+	}
+	for _, p := range a.SortedPairs() {
+		if !b.Contains(p.V, p.U) {
+			d.Removed = append(d.Removed, p)
+		}
+	}
+	return d
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiffBasics(t *testing.T) {
+	a := NewMatching()
+	a.Add(0, 0, 0.5)
+	a.Add(1, 1, 0.4)
+	b := NewMatching()
+	b.Add(0, 0, 0.5)
+	b.Add(2, 1, 0.9)
+
+	d := Diff(a, b)
+	if d.Empty() {
+		t.Fatal("diff claims identical")
+	}
+	if len(d.Added) != 1 || d.Added[0] != (Assignment{2, 1, 0.9}) {
+		t.Fatalf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != (Assignment{1, 1, 0.4}) {
+		t.Fatalf("Removed = %v", d.Removed)
+	}
+	if got := d.Gain; abs(got-0.5) > 1e-12 {
+		t.Fatalf("Gain = %v", got)
+	}
+	if users := d.AffectedUsers(); len(users) != 1 || users[0] != 1 {
+		t.Fatalf("AffectedUsers = %v", users)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := NewMatching()
+	a.Add(0, 0, 0.5)
+	d := Diff(a, a.Clone())
+	if !d.Empty() || d.Gain != 0 || len(d.AffectedUsers()) != 0 {
+		t.Fatalf("diff of identical = %+v", d)
+	}
+}
+
+func TestDiffEmptySides(t *testing.T) {
+	a := NewMatching()
+	b := NewMatching()
+	b.Add(0, 0, 0.3)
+	d := Diff(a, b)
+	if len(d.Added) != 1 || len(d.Removed) != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+	d = Diff(b, a)
+	if len(d.Added) != 0 || len(d.Removed) != 1 || d.Gain != -0.3 {
+		t.Fatalf("reverse diff = %+v", d)
+	}
+}
+
+func TestDiffRebalanceScenario(t *testing.T) {
+	// Diff of an arrangement before/after rebalance accounts for the gain
+	// exactly.
+	rng := rand.New(rand.NewSource(121))
+	in := randMatrixInstance(rng, 4, 10, 3, 3, 0.4)
+	before := RandomV(in, rand.New(rand.NewSource(2)))
+	after := Greedy(in)
+	d := Diff(before, after)
+	if abs(d.Gain-(after.MaxSum()-before.MaxSum())) > 1e-9 {
+		t.Fatalf("gain accounting wrong: %v", d.Gain)
+	}
+	var addSum, removeSum float64
+	for _, p := range d.Added {
+		addSum += p.Sim
+	}
+	for _, p := range d.Removed {
+		removeSum += p.Sim
+	}
+	if abs((addSum-removeSum)-d.Gain) > 1e-9 {
+		t.Fatalf("added-removed sums disagree with gain")
+	}
+}

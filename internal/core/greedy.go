@@ -1,0 +1,166 @@
+package core
+
+import (
+	"github.com/ebsnlab/geacc/internal/knn"
+	"github.com/ebsnlab/geacc/internal/pqueue"
+)
+
+// GreedyOptions tunes Greedy-GEACC. The zero value selects the defaults
+// (Chunked index with its default chunk size).
+type GreedyOptions struct {
+	// Index selects the nearest-neighbor index serving the "next feasible
+	// unvisited NN" queries.
+	Index IndexKind
+	// ChunkSize sets the first refill size of the Chunked index; <= 0 means
+	// knn.DefaultChunkSize. Ignored by the other indexes.
+	ChunkSize int
+	// Trace, when non-nil, receives every heap pop in order — the decision
+	// log of the run, exactly the narrative of the paper's Example 3.
+	Trace func(TraceStep)
+	// Feasible, when non-nil, adds a side constraint: a pair is only
+	// assignable while Feasible(v, u) holds. The predicate MUST be monotone
+	// non-increasing over the run (once false for a pair, false forever),
+	// because the algorithm prunes failing pairs permanently. Budgeted
+	// arrangements (BudgetedGreedy) are built on this hook.
+	Feasible func(v, u int) bool
+}
+
+// TraceStep records one popped pair and the algorithm's decision on it.
+type TraceStep struct {
+	V, U     int
+	Sim      float64
+	Accepted bool
+	// Reason explains a rejection: "event-full", "user-full", or
+	// "conflict". Empty for accepted pairs. When several reasons apply
+	// simultaneously they are reported in that priority order.
+	Reason string
+}
+
+// Greedy runs Greedy-GEACC (Algorithm 2 of the paper) with default options:
+// it repeatedly adds the most similar feasible unvisited pair to the
+// matching, maintaining a heap H of per-node nearest-neighbor candidates.
+// The result is feasible and within 1/(1+max c_u) of the optimum (Theorem 3).
+func Greedy(in *Instance) *Matching {
+	return GreedyOpts(in, GreedyOptions{})
+}
+
+// GreedyOpts runs Greedy-GEACC with explicit options.
+func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
+	nv, nu := in.NumEvents(), in.NumUsers()
+	m := NewMatching()
+	if nv == 0 || nu == 0 {
+		return m
+	}
+	src := newNeighborSource(in, opt.Index, opt.ChunkSize)
+
+	capV := make([]int, nv)
+	capU := make([]int, nu)
+	for v, e := range in.Events {
+		capV[v] = e.Cap
+	}
+	for u, usr := range in.Users {
+		capU[u] = usr.Cap
+	}
+
+	// Per-node neighbor streams, created lazily: a node whose pairs are all
+	// pushed from the other side never materializes its own stream.
+	vStreams := make([]knn.Stream, nv)
+	uStreams := make([]knn.Stream, nu)
+	h := pqueue.NewPairHeap(nu)
+
+	// conflictsWithMatched reports whether assigning v to u would put u in
+	// two conflicting events. Monotone: once true it stays true, so pairs
+	// filtered here can be skipped permanently.
+	conflictsWithMatched := func(v, u int) bool {
+		return in.Conflicts != nil && in.Conflicts.ConflictsWithAny(v, m.UserEvents(u))
+	}
+
+	// blocked folds in the optional monotone side constraint.
+	blocked := func(v, u int) bool {
+		if conflictsWithMatched(v, u) {
+			return true
+		}
+		return opt.Feasible != nil && !opt.Feasible(v, u)
+	}
+
+	// advanceEvent pushes event v's next feasible unvisited NN into H
+	// (Algorithm 2 lines 16-19). Skipped candidates are infeasible forever
+	// (their capacity or conflict state never recovers) or already in H.
+	advanceEvent := func(v int) {
+		if capV[v] == 0 {
+			return
+		}
+		if vStreams[v] == nil {
+			vStreams[v] = src.eventStream(v)
+		}
+		for {
+			u, s, ok := vStreams[v].Next()
+			if !ok {
+				return // v is a finished node
+			}
+			if h.Contains(v, u) || capU[u] == 0 || blocked(v, u) {
+				continue
+			}
+			h.Push(pqueue.Pair{V: v, U: u, Sim: s})
+			return
+		}
+	}
+
+	// advanceUser is the symmetric step for user u (lines 20-23).
+	advanceUser := func(u int) {
+		if capU[u] == 0 {
+			return
+		}
+		if uStreams[u] == nil {
+			uStreams[u] = src.userStream(u)
+		}
+		for {
+			v, s, ok := uStreams[u].Next()
+			if !ok {
+				return // u is a finished node
+			}
+			if h.Contains(v, u) || capV[v] == 0 || blocked(v, u) {
+				continue
+			}
+			h.Push(pqueue.Pair{V: v, U: u, Sim: s})
+			return
+		}
+	}
+
+	// Initialization (lines 1-9): each node contributes its first NN.
+	for v := 0; v < nv; v++ {
+		advanceEvent(v)
+	}
+	for u := 0; u < nu; u++ {
+		advanceUser(u)
+	}
+
+	// Iteration (lines 11-23): pop the most similar pair, add it when
+	// feasible, then let both endpoints contribute their next candidates.
+	for h.Len() > 0 {
+		p := h.Pop()
+		ok := capV[p.V] > 0 && capU[p.U] > 0 && !blocked(p.V, p.U)
+		if ok {
+			m.Add(p.V, p.U, p.Sim)
+			capV[p.V]--
+			capU[p.U]--
+		}
+		if opt.Trace != nil {
+			step := TraceStep{V: p.V, U: p.U, Sim: p.Sim, Accepted: ok}
+			if !ok {
+				switch {
+				case capV[p.V] == 0:
+					step.Reason = "event-full"
+				case capU[p.U] == 0:
+					step.Reason = "user-full"
+				default:
+					step.Reason = "conflict"
+				}
+			}
+			opt.Trace(step)
+		}
+		advanceEvent(p.V)
+		advanceUser(p.U)
+	}
+	return m
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Event is an event v = <l_v, c_v> (Definition 1): attribute vector plus the
+// maximum number of attendees.
+type Event struct {
+	Attrs sim.Vector
+	Cap   int
+}
+
+// User is a user u = <l_u, c_u> (Definition 2): attribute vector plus the
+// maximum number of events the user may be arranged to.
+type User struct {
+	Attrs sim.Vector
+	Cap   int
+}
+
+// Instance is a GEACC problem instance (Definition 5). Similarities come
+// either from a similarity function over the attribute vectors (the paper's
+// Equation 1 setup) or from an explicit |V|×|U| matrix (as in the TABLE I
+// walkthrough, where interestingness values are given directly).
+type Instance struct {
+	Events    []Event
+	Users     []User
+	Conflicts *conflict.Graph
+
+	// SimFunc computes similarities from attribute vectors. Ignored when
+	// Matrix is non-nil.
+	SimFunc sim.Func
+	// Matrix optionally fixes similarity values explicitly: Matrix[v][u].
+	Matrix [][]float64
+}
+
+// NewInstance builds a vector-based instance and validates its shape.
+// conflicts may be nil for a conflict-free instance.
+func NewInstance(events []Event, users []User, conflicts *conflict.Graph, f sim.Func) (*Instance, error) {
+	in := &Instance{Events: events, Users: users, Conflicts: conflicts, SimFunc: f}
+	if f == nil {
+		return nil, fmt.Errorf("core: nil similarity function")
+	}
+	if err := in.check(); err != nil {
+		return nil, err
+	}
+	d := -1
+	for i, e := range events {
+		if d == -1 {
+			d = len(e.Attrs)
+		}
+		if len(e.Attrs) != d {
+			return nil, fmt.Errorf("core: event %d has %d attributes, want %d", i, len(e.Attrs), d)
+		}
+	}
+	for i, u := range users {
+		if d == -1 {
+			d = len(u.Attrs)
+		}
+		if len(u.Attrs) != d {
+			return nil, fmt.Errorf("core: user %d has %d attributes, want %d", i, len(u.Attrs), d)
+		}
+	}
+	return in, nil
+}
+
+// NewMatrixInstance builds an instance with explicit similarity values.
+// matrix must be |events| × |users| with entries in [0, 1].
+func NewMatrixInstance(events []Event, users []User, conflicts *conflict.Graph, matrix [][]float64) (*Instance, error) {
+	in := &Instance{Events: events, Users: users, Conflicts: conflicts, Matrix: matrix}
+	if err := in.check(); err != nil {
+		return nil, err
+	}
+	if len(matrix) != len(events) {
+		return nil, fmt.Errorf("core: matrix has %d rows, want %d", len(matrix), len(events))
+	}
+	for v, row := range matrix {
+		if len(row) != len(users) {
+			return nil, fmt.Errorf("core: matrix row %d has %d columns, want %d", v, len(row), len(users))
+		}
+		for u, s := range row {
+			if s < 0 || s > 1 {
+				return nil, fmt.Errorf("core: similarity (%d, %d) = %v outside [0, 1]", v, u, s)
+			}
+		}
+	}
+	return in, nil
+}
+
+// check validates the pieces common to both constructors.
+func (in *Instance) check() error {
+	for i, e := range in.Events {
+		if e.Cap < 0 {
+			return fmt.Errorf("core: event %d has negative capacity %d", i, e.Cap)
+		}
+	}
+	for i, u := range in.Users {
+		if u.Cap < 0 {
+			return fmt.Errorf("core: user %d has negative capacity %d", i, u.Cap)
+		}
+	}
+	if in.Conflicts != nil && in.Conflicts.N() != len(in.Events) {
+		return fmt.Errorf("core: conflict graph covers %d events, instance has %d", in.Conflicts.N(), len(in.Events))
+	}
+	return nil
+}
+
+// NumEvents returns |V|.
+func (in *Instance) NumEvents() int { return len(in.Events) }
+
+// NumUsers returns |U|.
+func (in *Instance) NumUsers() int { return len(in.Users) }
+
+// Similarity returns sim(l_v, l_u) for event v and user u.
+func (in *Instance) Similarity(v, u int) float64 {
+	if in.Matrix != nil {
+		return in.Matrix[v][u]
+	}
+	return in.SimFunc(in.Events[v].Attrs, in.Users[u].Attrs)
+}
+
+// Conflicting reports whether events i and j conflict. A nil conflict graph
+// means CF = ∅.
+func (in *Instance) Conflicting(i, j int) bool {
+	return in.Conflicts != nil && in.Conflicts.Conflicting(i, j)
+}
+
+// MaxUserCap returns max c_u, the α in both approximation ratios.
+func (in *Instance) MaxUserCap() int {
+	m := 0
+	for _, u := range in.Users {
+		if u.Cap > m {
+			m = u.Cap
+		}
+	}
+	return m
+}
+
+// MaxEventCap returns max c_v.
+func (in *Instance) MaxEventCap() int {
+	m := 0
+	for _, e := range in.Events {
+		if e.Cap > m {
+			m = e.Cap
+		}
+	}
+	return m
+}
+
+// CapSums returns (Σ c_v, Σ c_u). Δmax of Algorithm 1 is their minimum.
+func (in *Instance) CapSums() (sumV, sumU int64) {
+	for _, e := range in.Events {
+		sumV += int64(e.Cap)
+	}
+	for _, u := range in.Users {
+		sumU += int64(u.Cap)
+	}
+	return sumV, sumU
+}
+
+// EventAttrs returns the event attribute vectors (nil entries for matrix
+// instances).
+func (in *Instance) EventAttrs() []sim.Vector {
+	out := make([]sim.Vector, len(in.Events))
+	for i, e := range in.Events {
+		out[i] = e.Attrs
+	}
+	return out
+}
+
+// UserAttrs returns the user attribute vectors.
+func (in *Instance) UserAttrs() []sim.Vector {
+	out := make([]sim.Vector, len(in.Users))
+	for i, u := range in.Users {
+		out[i] = u.Attrs
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+)
+
+func TestLocalSearchNeverWorseAndFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMatrixInstance(rng, 2+rng.Intn(4), 2+rng.Intn(8), 3, 3, rng.Float64())
+		for _, start := range []*Matching{
+			RandomV(in, rand.New(rand.NewSource(seed+1))),
+			Greedy(in),
+			NewMatching(),
+		} {
+			improved, stats, err := LocalSearch(in, start, LocalSearchOptions{})
+			if err != nil {
+				return false
+			}
+			if improved.MaxSum() < start.MaxSum()-1e-9 {
+				return false
+			}
+			if stats.Gain < -1e-9 {
+				return false
+			}
+			if Validate(in, improved) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchRejectsInfeasibleStart(t *testing.T) {
+	in := table1Instance(t)
+	bad := NewMatching()
+	bad.Add(0, 0, 0.5) // wrong similarity
+	if _, _, err := LocalSearch(in, bad, LocalSearchOptions{}); err == nil {
+		t.Fatal("infeasible start accepted")
+	}
+}
+
+func TestLocalSearchFillsEmptyStart(t *testing.T) {
+	in := table1Instance(t)
+	improved, stats, err := LocalSearch(in, NewMatching(), LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Size() == 0 || stats.Additions == 0 {
+		t.Fatal("local search added nothing from an empty start")
+	}
+	// From empty, additions + exchanges should reach a decent fraction of
+	// the known optimum 4.39.
+	if improved.MaxSum() < 3.5 {
+		t.Fatalf("local optimum %v surprisingly weak", improved.MaxSum())
+	}
+}
+
+func TestLocalSearchImprovesRandomBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	in := randMatrixInstance(rng, 6, 20, 4, 3, 0.3)
+	start := RandomV(in, rand.New(rand.NewSource(5)))
+	improved, _, err := LocalSearch(in, start, LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.MaxSum() <= start.MaxSum() {
+		t.Fatalf("no improvement over random start: %v vs %v", improved.MaxSum(), start.MaxSum())
+	}
+}
+
+func TestLocalSearchConvergesToLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	in := randMatrixInstance(rng, 4, 10, 3, 3, 0.4)
+	first, _, err := LocalSearch(in, Greedy(in), LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running local search on its own output must be a fixed point.
+	second, stats, err := LocalSearch(in, first, LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gain != 0 || second.MaxSum() != first.MaxSum() {
+		t.Fatalf("not a fixed point: gain %v", stats.Gain)
+	}
+}
+
+func TestLocalSearchRoundCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	in := randMatrixInstance(rng, 5, 15, 4, 3, 0.3)
+	_, stats, err := LocalSearch(in, NewMatching(), LocalSearchOptions{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 1 {
+		t.Fatalf("round cap ignored: %d rounds", stats.Rounds)
+	}
+}
+
+func TestLocalSearchTwoSwapEscapesOneExchangeOptimum(t *testing.T) {
+	// All capacities saturated so no add/replace move exists; only the
+	// 2-swap can fix the crossed assignment. Start: (v0,u1)=0.5,
+	// (v1,u0)=0.5. Optimal: (v0,u0)=0.9, (v1,u1)=0.9.
+	in, err := NewMatrixInstance(
+		[]Event{{Cap: 1}, {Cap: 1}},
+		[]User{{Cap: 1}, {Cap: 1}},
+		nil,
+		[][]float64{{0.9, 0.5}, {0.5, 0.9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := NewMatching()
+	start.Add(0, 1, 0.5)
+	start.Add(1, 0, 0.5)
+	improved, stats, err := LocalSearch(in, start, LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swaps == 0 {
+		t.Fatal("2-swap did not fire")
+	}
+	if abs(improved.MaxSum()-1.8) > 1e-9 {
+		t.Fatalf("MaxSum = %v, want 1.8", improved.MaxSum())
+	}
+	if !improved.Contains(0, 0) || !improved.Contains(1, 1) {
+		t.Fatalf("wrong pairs: %v", improved.SortedPairs())
+	}
+}
+
+func TestLocalSearchTwoSwapRespectsConflicts(t *testing.T) {
+	// The beneficial swap is forbidden: u0 already attends v2, which
+	// conflicts with v1, so u0 cannot move onto v1.
+	in, err := NewMatrixInstance(
+		[]Event{{Cap: 1}, {Cap: 1}, {Cap: 1}},
+		[]User{{Cap: 2}, {Cap: 1}},
+		conflict.FromPairs(3, [][2]int{{0, 2}}),
+		[][]float64{{0.9, 0.5}, {0.5, 0.9}, {0.6, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := NewMatching()
+	start.Add(0, 1, 0.5) // v0-u1
+	start.Add(1, 0, 0.5) // v1-u0
+	start.Add(2, 0, 0.6) // v2-u0 (v2 conflicts v0)
+	improved, _, err := LocalSearch(in, start, LocalSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(in, improved); err != nil {
+		t.Fatal(err)
+	}
+	// The swap would need u0 on v0, conflicting with u0's v2.
+	if improved.Contains(0, 0) {
+		t.Fatal("conflicting swap applied")
+	}
+}
+
+func TestLocalSearchBoundedByExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 20; trial++ {
+		in := randMatrixInstance(rng, 1+rng.Intn(3), 1+rng.Intn(5), 3, 3, rng.Float64())
+		improved, _, err := LocalSearch(in, Greedy(in), LocalSearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteForceOpt(in)
+		if improved.MaxSum() > opt+1e-9 {
+			t.Fatalf("local search exceeded the optimum: %v > %v", improved.MaxSum(), opt)
+		}
+	}
+}

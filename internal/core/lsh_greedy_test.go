@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGreedyWithLSHFeasibleAndClose: the approximate index must still yield
+// feasible matchings, and on dense instances the quality loss versus the
+// exact indexes stays modest.
+func TestGreedyWithLSHFeasibleAndClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 10; trial++ {
+		in := randVectorInstance(rng, 5, 60, 2, 8, 3, 0.3) // low-dim: LSH territory
+		approx := GreedyOpts(in, GreedyOptions{Index: IndexLSH})
+		mustValidate(t, in, approx, "greedy-lsh")
+		// Greedy is itself a heuristic, so a scrambled candidate order can
+		// land above OR below the exact-index result; only a collapse in
+		// quality indicates a broken index.
+		exact := Greedy(in)
+		if approx.MaxSum() < 0.5*exact.MaxSum() {
+			t.Fatalf("trial %d: LSH quality collapsed: %v vs %v",
+				trial, approx.MaxSum(), exact.MaxSum())
+		}
+	}
+}

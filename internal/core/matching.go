@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is one matched (event, user) pair together with its
+// interestingness value.
+type Assignment struct {
+	V   int
+	U   int
+	Sim float64
+}
+
+// Matching is an event-participant arrangement M. It accumulates MaxSum(M)
+// incrementally and maintains per-user and per-event views used by the
+// algorithms and the validator.
+type Matching struct {
+	pairs      []Assignment
+	maxSum     float64
+	userEvents map[int][]int // u -> matched events, in insertion order
+	eventUsers map[int][]int // v -> matched users, in insertion order
+}
+
+// NewMatching returns an empty arrangement.
+func NewMatching() *Matching {
+	return &Matching{
+		userEvents: make(map[int][]int),
+		eventUsers: make(map[int][]int),
+	}
+}
+
+// Add records m(v, u) = 1 with the given similarity. It panics on duplicate
+// pairs: every algorithm in this package must add a pair at most once.
+func (m *Matching) Add(v, u int, s float64) {
+	if m.Contains(v, u) {
+		panic(fmt.Sprintf("core: pair (%d, %d) added twice", v, u))
+	}
+	m.pairs = append(m.pairs, Assignment{V: v, U: u, Sim: s})
+	m.maxSum += s
+	m.userEvents[u] = append(m.userEvents[u], v)
+	m.eventUsers[v] = append(m.eventUsers[v], u)
+}
+
+// Contains reports whether m(v, u) = 1.
+func (m *Matching) Contains(v, u int) bool {
+	for _, w := range m.userEvents[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns |M|, the number of matched pairs.
+func (m *Matching) Size() int { return len(m.pairs) }
+
+// MaxSum returns MaxSum(M) = Σ m(v,u)·sim(l_v, l_u), the objective of
+// Definition 5.
+func (m *Matching) MaxSum() float64 { return m.maxSum }
+
+// Pairs returns the assignments in insertion order. The slice is owned by
+// the matching; callers must not modify it.
+func (m *Matching) Pairs() []Assignment { return m.pairs }
+
+// SortedPairs returns the assignments sorted by (V, U), independent of
+// insertion order — convenient for comparisons and stable output.
+func (m *Matching) SortedPairs() []Assignment {
+	out := append([]Assignment(nil), m.pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].V != out[j].V {
+			return out[i].V < out[j].V
+		}
+		return out[i].U < out[j].U
+	})
+	return out
+}
+
+// UserEvents returns the events user u is arranged to, in insertion order.
+// The slice is owned by the matching.
+func (m *Matching) UserEvents(u int) []int { return m.userEvents[u] }
+
+// EventUsers returns the users arranged to event v, in insertion order.
+// The slice is owned by the matching.
+func (m *Matching) EventUsers(v int) []int { return m.eventUsers[v] }
+
+// Clone returns an independent copy of the matching.
+func (m *Matching) Clone() *Matching {
+	c := NewMatching()
+	for _, p := range m.pairs {
+		c.Add(p.V, p.U, p.Sim)
+	}
+	return c
+}
+
+// Validate checks that m is a feasible arrangement for in per Definition 5:
+// indices in range, similarities positive and consistent with the instance,
+// no pair assigned twice, event and user capacities respected, and no user
+// assigned to two conflicting events.
+func Validate(in *Instance, m *Matching) error {
+	eventLoad := make([]int, in.NumEvents())
+	userLoad := make([]int, in.NumUsers())
+	for _, p := range m.pairs {
+		if p.V < 0 || p.V >= in.NumEvents() || p.U < 0 || p.U >= in.NumUsers() {
+			return fmt.Errorf("core: pair (%d, %d) out of range", p.V, p.U)
+		}
+		want := in.Similarity(p.V, p.U)
+		if p.Sim != want {
+			return fmt.Errorf("core: pair (%d, %d) stores sim %v, instance says %v", p.V, p.U, p.Sim, want)
+		}
+		if p.Sim <= 0 {
+			return fmt.Errorf("core: pair (%d, %d) has non-positive similarity %v", p.V, p.U, p.Sim)
+		}
+		eventLoad[p.V]++
+		userLoad[p.U]++
+	}
+	for v, load := range eventLoad {
+		if load > in.Events[v].Cap {
+			return fmt.Errorf("core: event %d over capacity: %d > %d", v, load, in.Events[v].Cap)
+		}
+	}
+	for u, load := range userLoad {
+		if load > in.Users[u].Cap {
+			return fmt.Errorf("core: user %d over capacity: %d > %d", u, load, in.Users[u].Cap)
+		}
+	}
+	for u, events := range m.userEvents {
+		seen := make(map[int]bool, len(events))
+		for _, v := range events {
+			if seen[v] {
+				return fmt.Errorf("core: pair (%d, %d) assigned twice", v, u)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < len(events); i++ {
+			for j := i + 1; j < len(events); j++ {
+				if in.Conflicting(events[i], events[j]) {
+					return fmt.Errorf("core: user %d assigned to conflicting events %d and %d",
+						u, events[i], events[j])
+				}
+			}
+		}
+	}
+	return nil
+}

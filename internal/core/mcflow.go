@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/mincostflow"
+)
+
+// FlowResult carries the output of MinCostFlow-GEACC plus diagnostics used
+// by the experiments and tests.
+type FlowResult struct {
+	// Matching is the final feasible arrangement M (after conflict
+	// resolution).
+	Matching *Matching
+	// Relaxed is M∅, the optimal arrangement of the conflict-free
+	// relaxation. It may assign users to conflicting events.
+	Relaxed *Matching
+	// RelaxedMaxSum = MaxSum(M∅). By Corollary 1 it upper-bounds
+	// MaxSum(M_OPT) of the conflict-constrained instance.
+	RelaxedMaxSum float64
+	// Delta is the flow amount Δ whose minimum-cost flow produced M∅.
+	Delta int64
+}
+
+// FlowOptions tunes MinCostFlow-GEACC beyond the paper's defaults.
+type FlowOptions struct {
+	// ExactResolution replaces the paper's greedy per-user conflict
+	// resolution (lines 8-14) with an exact maximum-weight-independent-set
+	// computation per user. MWIS is NP-hard in general, but each user's
+	// candidate set in M∅ has at most c_u ≤ |V| events, and a bitmask
+	// dynamic program over those few events is cheap. An extension/ablation
+	// knob: it can only improve MaxSum, and Theorem 2's ratio still holds.
+	ExactResolution bool
+}
+
+// MinCostFlow runs MinCostFlow-GEACC (Algorithm 1 of the paper): solve the
+// conflict-free relaxation exactly via minimum-cost flow over all flow
+// amounts Δ ∈ [Δmin, Δmax], keep the best arrangement M∅, then resolve each
+// user's conflicts greedily (a maximum-weight-independent-set heuristic).
+// The result is feasible and within 1/max c_u of the optimum (Theorem 2).
+//
+// The Δ-sweep is computed incrementally: the successive-shortest-path solver
+// yields, after the k-th augmentation, a minimum-cost flow of amount k, and
+// augmenting-path costs never decrease, so MaxSum(M∅^Δ) = Δ − cost(Δ) is
+// concave in Δ. Augmentation therefore stops at the first shortest path with
+// per-unit cost ≥ 1 — exactly the Δ maximizing the sweep of lines 3-7.
+func MinCostFlow(in *Instance) *FlowResult {
+	return MinCostFlowOpts(in, FlowOptions{})
+}
+
+// MinCostFlowOpts runs MinCostFlow-GEACC with explicit options.
+func MinCostFlowOpts(in *Instance, opt FlowOptions) *FlowResult {
+	res := relaxedOptimum(in)
+	if opt.ExactResolution {
+		res.Matching = resolveConflictsExact(in, res.Relaxed)
+	} else {
+		res.Matching = resolveConflicts(in, res.Relaxed)
+	}
+	return res
+}
+
+// RelaxedUpperBound returns MaxSum(M∅), the optimum of the conflict-free
+// relaxation, which upper-bounds the conflict-constrained optimum
+// (Corollary 1). Tests use it to sandwich algorithm results.
+func RelaxedUpperBound(in *Instance) float64 {
+	return relaxedOptimum(in).RelaxedMaxSum
+}
+
+// relaxedOptimum solves the GEACC instance with CF = ∅ exactly (Lemma 1)
+// via the minimum-cost-flow reduction of Section III.A.
+func relaxedOptimum(in *Instance) *FlowResult {
+	nv, nu := in.NumEvents(), in.NumUsers()
+	res := &FlowResult{Relaxed: NewMatching()}
+	if nv == 0 || nu == 0 {
+		return res
+	}
+
+	// Node layout: source, events, users, sink.
+	s := 0
+	eventNode := func(v int) int { return 1 + v }
+	userNode := func(u int) int { return 1 + nv + u }
+	t := 1 + nv + nu
+
+	g := mincostflow.NewGraph(nv + nu + 2)
+	g.Grow(nv + nu + nv*nu)
+	for v, e := range in.Events {
+		g.AddArc(s, eventNode(v), int64(e.Cap), 0)
+	}
+	for u, usr := range in.Users {
+		g.AddArc(userNode(u), t, int64(usr.Cap), 0)
+	}
+	// Pair arcs — including zero-similarity pairs, exactly as the paper's
+	// construction demands (they make every Δ up to Δmax feasible; Lemma 1
+	// relies on that). Arc ids are recorded to read flows back.
+	pairArc := make([]mincostflow.ArcID, nv*nu)
+	for v := 0; v < nv; v++ {
+		for u := 0; u < nu; u++ {
+			pairArc[v*nu+u] = g.AddArc(eventNode(v), userNode(u), 1, 1-in.Similarity(v, u))
+		}
+	}
+
+	sv := mincostflow.NewSolver(g, s, t)
+	// Augment while a unit of flow still increases MaxSum = Δ − cost, i.e.
+	// while the next path's per-unit cost is below 1.
+	for {
+		if _, _, ok := sv.AugmentBelow(math.MaxInt64, 1); !ok {
+			break
+		}
+	}
+	res.Delta = sv.TotalFlow()
+
+	for v := 0; v < nv; v++ {
+		for u := 0; u < nu; u++ {
+			if g.Flow(pairArc[v*nu+u]) != 1 {
+				continue
+			}
+			if s := in.Similarity(v, u); s > 0 {
+				res.Relaxed.Add(v, u, s)
+			}
+		}
+	}
+	res.RelaxedMaxSum = res.Relaxed.MaxSum()
+	return res
+}
+
+// resolveConflictsExact replaces the greedy selection with an exact
+// per-user maximum-weight independent set, computed by enumerating subsets
+// of the user's M∅ events (at most c_u of them, so 2^c_u states). Falls
+// back to the greedy heuristic for pathological users with > 20 events.
+func resolveConflictsExact(in *Instance, relaxed *Matching) *Matching {
+	m := NewMatching()
+	for u := 0; u < in.NumUsers(); u++ {
+		events := relaxed.UserEvents(u)
+		if len(events) == 0 {
+			continue
+		}
+		if len(events) > 20 {
+			for _, v := range greedyIndependent(in, u, events) {
+				m.Add(v, u, in.Similarity(v, u))
+			}
+			continue
+		}
+		bestMask, bestSum := 0, -1.0
+		for mask := 0; mask < 1<<len(events); mask++ {
+			sum := 0.0
+			ok := true
+			for i := 0; ok && i < len(events); i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				for j := i + 1; j < len(events); j++ {
+					if mask&(1<<j) != 0 && in.Conflicting(events[i], events[j]) {
+						ok = false
+						break
+					}
+				}
+				sum += in.Similarity(events[i], u)
+			}
+			if ok && sum > bestSum {
+				bestMask, bestSum = mask, sum
+			}
+		}
+		for i, v := range events {
+			if bestMask&(1<<i) != 0 {
+				m.Add(v, u, in.Similarity(v, u))
+			}
+		}
+	}
+	return m
+}
+
+// greedyIndependent is the paper's per-user greedy selection, returning the
+// kept events.
+func greedyIndependent(in *Instance, u int, events []int) []int {
+	sorted := append([]int(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := in.Similarity(sorted[i], u), in.Similarity(sorted[j], u)
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i] < sorted[j]
+	})
+	var kept []int
+	for _, v := range sorted {
+		if in.Conflicts != nil && in.Conflicts.ConflictsWithAny(v, kept) {
+			continue
+		}
+		kept = append(kept, v)
+	}
+	return kept
+}
+
+// resolveConflicts implements lines 8-14 of Algorithm 1: for each user,
+// greedily keep the most interesting pairwise-non-conflicting subset of the
+// events M∅ assigned to that user.
+func resolveConflicts(in *Instance, relaxed *Matching) *Matching {
+	m := NewMatching()
+	// Process users in ascending order for deterministic output.
+	for u := 0; u < in.NumUsers(); u++ {
+		events := relaxed.UserEvents(u)
+		if len(events) == 0 {
+			continue
+		}
+		for _, v := range greedyIndependent(in, u, events) {
+			m.Add(v, u, in.Similarity(v, u))
+		}
+	}
+	return m
+}

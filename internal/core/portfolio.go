@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// PortfolioResult reports one solver's outcome inside a portfolio run.
+type PortfolioResult struct {
+	Name     string
+	Matching *Matching
+	Err      error
+}
+
+// Portfolio runs several solvers concurrently on the same instance and
+// returns the best feasible matching plus every individual outcome (sorted
+// by solver name). GEACC's approximations have incomparable strengths —
+// greedy usually wins but MinCostFlow is optimal when conflicts are absent
+// or sparse per user — so racing them and keeping the best is a practical
+// meta-solver. Solvers must not mutate the instance (none in this package
+// do); each receives an independent PRNG derived from seed.
+func Portfolio(in *Instance, names []string, seed int64) (*Matching, []PortfolioResult, error) {
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("core: empty portfolio")
+	}
+	solvers := make([]Solver, len(names))
+	for i, name := range names {
+		s, err := LookupSolver(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		solvers[i] = s
+	}
+
+	results := make([]PortfolioResult, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					results[i].Err = fmt.Errorf("core: solver %s panicked: %v", names[i], r)
+				}
+			}()
+			results[i].Name = names[i]
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			m := solvers[i](in, rng)
+			if err := Validate(in, m); err != nil {
+				results[i].Err = err
+				return
+			}
+			results[i].Matching = m
+		}(i)
+	}
+	wg.Wait()
+
+	var best *Matching
+	for _, r := range results {
+		if r.Err != nil || r.Matching == nil {
+			continue
+		}
+		if best == nil || r.Matching.MaxSum() > best.MaxSum() {
+			best = r.Matching
+		}
+	}
+	if best == nil {
+		return nil, results, fmt.Errorf("core: every portfolio solver failed")
+	}
+	return best, results, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import "math/rand"
+
+// RandomV is the paper's first baseline: iterate over each event v and add
+// each pair {v, u} with probability c_v/|U|, provided the pair satisfies all
+// constraints (positive similarity, capacities, conflicts).
+func RandomV(in *Instance, rng *rand.Rand) *Matching {
+	m := NewMatching()
+	nv, nu := in.NumEvents(), in.NumUsers()
+	if nv == 0 || nu == 0 {
+		return m
+	}
+	capV := remainingEventCaps(in)
+	capU := remainingUserCaps(in)
+	for v := 0; v < nv; v++ {
+		p := float64(in.Events[v].Cap) / float64(nu)
+		for u := 0; u < nu; u++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			tryAdd(in, m, capV, capU, v, u)
+		}
+	}
+	return m
+}
+
+// RandomU is the paper's second baseline: iterate over each user u and add
+// each pair {v, u} with probability c_u/|V| when feasible.
+func RandomU(in *Instance, rng *rand.Rand) *Matching {
+	m := NewMatching()
+	nv, nu := in.NumEvents(), in.NumUsers()
+	if nv == 0 || nu == 0 {
+		return m
+	}
+	capV := remainingEventCaps(in)
+	capU := remainingUserCaps(in)
+	for u := 0; u < nu; u++ {
+		p := float64(in.Users[u].Cap) / float64(nv)
+		for v := 0; v < nv; v++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			tryAdd(in, m, capV, capU, v, u)
+		}
+	}
+	return m
+}
+
+// tryAdd assigns v to u when the pair satisfies every GEACC constraint,
+// updating the remaining capacities.
+func tryAdd(in *Instance, m *Matching, capV, capU []int, v, u int) {
+	if capV[v] == 0 || capU[u] == 0 {
+		return
+	}
+	s := in.Similarity(v, u)
+	if s <= 0 {
+		return
+	}
+	if in.Conflicts != nil && in.Conflicts.ConflictsWithAny(v, m.UserEvents(u)) {
+		return
+	}
+	m.Add(v, u, s)
+	capV[v]--
+	capU[u]--
+}
+
+func remainingEventCaps(in *Instance) []int {
+	caps := make([]int, in.NumEvents())
+	for v, e := range in.Events {
+		caps[v] = e.Cap
+	}
+	return caps
+}
+
+func remainingUserCaps(in *Instance) []int {
+	caps := make([]int, in.NumUsers())
+	for u, usr := range in.Users {
+		caps[u] = usr.Cap
+	}
+	return caps
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Solver is the uniform signature the experiment harness drives: solve the
+// instance, using rng for any internal randomness (deterministic algorithms
+// ignore it).
+type Solver func(in *Instance, rng *rand.Rand) *Matching
+
+// Solvers returns the algorithm registry keyed by the names used throughout
+// the paper's plots: greedy, mincostflow, random-v, random-u, and exact
+// (Prune-GEACC).
+func Solvers() map[string]Solver {
+	return map[string]Solver{
+		"greedy": func(in *Instance, _ *rand.Rand) *Matching {
+			return Greedy(in)
+		},
+		"mincostflow": func(in *Instance, _ *rand.Rand) *Matching {
+			return MinCostFlow(in).Matching
+		},
+		"random-v": RandomV,
+		"random-u": RandomU,
+		"exact": func(in *Instance, _ *rand.Rand) *Matching {
+			m, _, err := Exact(in)
+			if err != nil {
+				panic(fmt.Sprintf("core: exact solver failed: %v", err))
+			}
+			return m
+		},
+	}
+}
+
+// SolverNames returns the registry keys in stable order.
+func SolverNames() []string {
+	names := make([]string, 0)
+	for name := range Solvers() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupSolver resolves one registry entry, with a helpful error listing the
+// valid names.
+func LookupSolver(name string) (Solver, error) {
+	s, ok := Solvers()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown solver %q (valid: %v)", name, SolverNames())
+	}
+	return s, nil
+}

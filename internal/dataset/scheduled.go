@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/randx"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// ScheduledConfig generates an instance whose conflicts are *derived* from
+// event timetables and venue locations instead of sampled at random — the
+// semantics the paper's introduction motivates (overlapping intervals, or
+// venues too far apart to reach in the gap between events).
+type ScheduledConfig struct {
+	NumEvents int
+	NumUsers  int
+	Dim       int     // interest-space dimensionality; default 20
+	MaxT      float64 // interest-space bound; default 10000
+
+	DayLength   float64 // schedule horizon in hours; default 12
+	MinDuration float64 // hours; default 1
+	MaxDuration float64 // hours; default 3
+	AreaSize    float64 // venues in [0, AreaSize]² km; default 30
+	TravelSpeed float64 // km/h; default 30
+
+	EventCapMax int // Uniform [1, EventCapMax]; default 50
+	UserCapMax  int // Uniform [1, UserCapMax]; default 4
+
+	Seed int64
+}
+
+// DefaultScheduled returns a city-day of events: 12 hours, 1-3h events over
+// a 30 km area at 30 km/h travel.
+func DefaultScheduled() ScheduledConfig {
+	return ScheduledConfig{
+		NumEvents:   100,
+		NumUsers:    1000,
+		Dim:         20,
+		MaxT:        10000,
+		DayLength:   12,
+		MinDuration: 1,
+		MaxDuration: 3,
+		AreaSize:    30,
+		TravelSpeed: 30,
+		EventCapMax: 50,
+		UserCapMax:  4,
+		Seed:        1,
+	}
+}
+
+// Generate builds the instance plus the schedules its conflicts came from
+// (so callers can print or inspect the derivation).
+func (c ScheduledConfig) Generate() (*core.Instance, []conflict.Schedule, error) {
+	switch {
+	case c.NumEvents <= 0 || c.NumUsers <= 0:
+		return nil, nil, fmt.Errorf("dataset: non-positive cardinality |V|=%d |U|=%d", c.NumEvents, c.NumUsers)
+	case c.Dim <= 0 || c.MaxT <= 0:
+		return nil, nil, fmt.Errorf("dataset: bad attribute space d=%d T=%v", c.Dim, c.MaxT)
+	case c.MinDuration <= 0 || c.MaxDuration < c.MinDuration:
+		return nil, nil, fmt.Errorf("dataset: bad durations [%v, %v]", c.MinDuration, c.MaxDuration)
+	case c.DayLength < c.MaxDuration:
+		return nil, nil, fmt.Errorf("dataset: day of %vh cannot hold %vh events", c.DayLength, c.MaxDuration)
+	case c.TravelSpeed <= 0:
+		return nil, nil, fmt.Errorf("dataset: non-positive travel speed %v", c.TravelSpeed)
+	case c.EventCapMax < 1 || c.UserCapMax < 1:
+		return nil, nil, fmt.Errorf("dataset: capacity maxima must be >= 1")
+	}
+	rng := randx.Source(c.Seed)
+	attrRng := randx.Sub(rng)
+	capRng := randx.Sub(rng)
+	schedRng := randx.Sub(rng)
+
+	attrs := func() sim.Vector {
+		v := make(sim.Vector, c.Dim)
+		for i := range v {
+			v[i] = attrRng.Float64() * c.MaxT
+		}
+		return v
+	}
+
+	events := make([]core.Event, c.NumEvents)
+	schedules := make([]conflict.Schedule, c.NumEvents)
+	for i := range events {
+		events[i] = core.Event{
+			Attrs: attrs(),
+			Cap:   randx.UniformInt(capRng, 1, c.EventCapMax),
+		}
+		dur := randx.Uniform(schedRng, c.MinDuration, c.MaxDuration)
+		start := randx.Uniform(schedRng, 0, c.DayLength-dur)
+		schedules[i] = conflict.Schedule{
+			Start: start,
+			End:   start + dur,
+			X:     schedRng.Float64() * c.AreaSize,
+			Y:     schedRng.Float64() * c.AreaSize,
+		}
+	}
+	users := make([]core.User, c.NumUsers)
+	for i := range users {
+		users[i] = core.User{
+			Attrs: attrs(),
+			Cap:   randx.UniformInt(capRng, 1, c.UserCapMax),
+		}
+	}
+
+	cf, err := conflict.FromSchedules(schedules, c.TravelSpeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	in, err := core.NewInstance(events, users, cf, sim.Euclidean(c.Dim, c.MaxT))
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, schedules, nil
+}

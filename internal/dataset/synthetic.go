@@ -1,0 +1,178 @@
+// Package dataset generates GEACC workloads: the synthetic instances of the
+// paper's TABLE III, a Meetup-like EBSN simulator reproducing the real-data
+// statistics of TABLE II, and schedule-driven instances whose conflicts come
+// from timetable overlaps and travel times rather than random sampling.
+//
+// All generators are deterministic functions of their seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/randx"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Distribution names a sampling law from TABLE III.
+type Distribution string
+
+// Distributions used by the paper's generators.
+const (
+	Uniform Distribution = "uniform"
+	Normal  Distribution = "normal"
+	Zipf    Distribution = "zipf"
+)
+
+// SyntheticConfig parameterizes the TABLE III generator. The zero value is
+// not useful; start from DefaultSynthetic.
+type SyntheticConfig struct {
+	NumEvents int     // |V|; default 100
+	NumUsers  int     // |U|; default 1000
+	Dim       int     // d; default 20
+	MaxT      float64 // T; default 10000
+
+	// AttrDist draws attribute components: Uniform over [0, T], Zipf with
+	// exponent ZipfS over [0, T], or Normal — a 50/50 mixture of
+	// N(T/4, T/4) and N(3T/4, T/4) per entity, truncated to [0, T]
+	// (TABLE III lists both Normal components).
+	AttrDist Distribution
+	ZipfS    float64 // Zipf exponent; default 1.3
+
+	// Event capacities: Uniform over [1, EventCapMax] (default max 50) or
+	// Normal(25, 12.5) clamped to [1, EventCapMax].
+	EventCapDist Distribution
+	EventCapMax  int
+
+	// User capacities: Uniform over [1, UserCapMax] (default max 4) or
+	// Normal(2, 1) clamped to [1, UserCapMax].
+	UserCapDist Distribution
+	UserCapMax  int
+
+	// CFRatio is |CF| / (|V|·(|V|−1)/2); default 0.25.
+	CFRatio float64
+
+	Seed int64
+}
+
+// DefaultSynthetic returns TABLE III's default (bold) setting.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		NumEvents:    100,
+		NumUsers:     1000,
+		Dim:          20,
+		MaxT:         10000,
+		AttrDist:     Uniform,
+		ZipfS:        1.3,
+		EventCapDist: Uniform,
+		EventCapMax:  50,
+		UserCapDist:  Uniform,
+		UserCapMax:   4,
+		CFRatio:      0.25,
+		Seed:         1,
+	}
+}
+
+// Generate builds the instance described by the config.
+func (c SyntheticConfig) Generate() (*core.Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.Source(c.Seed)
+	attrRng := randx.Sub(rng)
+	capRng := randx.Sub(rng)
+	cfRng := randx.Sub(rng)
+
+	sampleAttrs := c.attrSampler(attrRng)
+	events := make([]core.Event, c.NumEvents)
+	for i := range events {
+		events[i] = core.Event{
+			Attrs: sampleAttrs(),
+			Cap:   c.sampleCap(capRng, c.EventCapDist, c.EventCapMax, 25, 12.5),
+		}
+	}
+	users := make([]core.User, c.NumUsers)
+	for i := range users {
+		users[i] = core.User{
+			Attrs: sampleAttrs(),
+			Cap:   c.sampleCap(capRng, c.UserCapDist, c.UserCapMax, 2, 1),
+		}
+	}
+	cf := conflict.Random(cfRng, c.NumEvents, c.CFRatio)
+	return core.NewInstance(events, users, cf, sim.Euclidean(c.Dim, c.MaxT))
+}
+
+func (c SyntheticConfig) validate() error {
+	switch {
+	case c.NumEvents <= 0 || c.NumUsers <= 0:
+		return fmt.Errorf("dataset: non-positive cardinality |V|=%d |U|=%d", c.NumEvents, c.NumUsers)
+	case c.Dim <= 0:
+		return fmt.Errorf("dataset: non-positive dimensionality %d", c.Dim)
+	case c.MaxT <= 0:
+		return fmt.Errorf("dataset: non-positive attribute bound %v", c.MaxT)
+	case c.EventCapMax < 1 || c.UserCapMax < 1:
+		return fmt.Errorf("dataset: capacity maxima must be >= 1")
+	case c.CFRatio < 0 || c.CFRatio > 1:
+		return fmt.Errorf("dataset: conflict ratio %v outside [0, 1]", c.CFRatio)
+	}
+	for _, d := range []Distribution{c.AttrDist, c.EventCapDist, c.UserCapDist} {
+		switch d {
+		case Uniform, Normal, Zipf:
+		default:
+			return fmt.Errorf("dataset: unknown distribution %q", d)
+		}
+	}
+	if c.AttrDist == Zipf && c.ZipfS <= 1 {
+		return fmt.Errorf("dataset: Zipf exponent %v must be > 1", c.ZipfS)
+	}
+	if c.EventCapDist == Zipf || c.UserCapDist == Zipf {
+		return fmt.Errorf("dataset: capacities use Uniform or Normal only (TABLE III)")
+	}
+	return nil
+}
+
+// attrSampler returns a function producing one attribute vector per call.
+func (c SyntheticConfig) attrSampler(rng *rand.Rand) func() sim.Vector {
+	switch c.AttrDist {
+	case Zipf:
+		z := randx.NewZipf(rng, c.ZipfS, 1<<16, c.MaxT)
+		return func() sim.Vector {
+			v := make(sim.Vector, c.Dim)
+			for i := range v {
+				v[i] = z.Next()
+			}
+			return v
+		}
+	case Normal:
+		return func() sim.Vector {
+			// Bimodal population: each entity draws all components from one
+			// of the two TABLE III components.
+			mu := c.MaxT / 4
+			if rng.Intn(2) == 1 {
+				mu = 3 * c.MaxT / 4
+			}
+			v := make(sim.Vector, c.Dim)
+			for i := range v {
+				v[i] = randx.Normal(rng, mu, c.MaxT/4, 0, c.MaxT)
+			}
+			return v
+		}
+	default:
+		return func() sim.Vector {
+			v := make(sim.Vector, c.Dim)
+			for i := range v {
+				v[i] = rng.Float64() * c.MaxT
+			}
+			return v
+		}
+	}
+}
+
+func (c SyntheticConfig) sampleCap(rng *rand.Rand, d Distribution, max int, mu, sigma float64) int {
+	if d == Normal {
+		return randx.NormalInt(rng, mu, sigma, 1, max)
+	}
+	return randx.UniformInt(rng, 1, max)
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/core"
+)
+
+// TestTable3GridGenerates walks every swept value of TABLE III (at reduced
+// cardinality where only sizes are swept) and checks the generator produces
+// a valid, solvable instance for each cell. This is the full parameter grid
+// of the paper's synthetic evaluation.
+func TestTable3GridGenerates(t *testing.T) {
+	type mutation struct {
+		name   string
+		mutate func(*SyntheticConfig)
+	}
+	var cells []mutation
+	for _, v := range []int{20, 50, 100, 200, 500} {
+		v := v
+		cells = append(cells, mutation{"V", func(c *SyntheticConfig) { c.NumEvents = v / 10 }})
+	}
+	for _, u := range []int{100, 200, 500, 1000, 2000, 5000} {
+		u := u
+		cells = append(cells, mutation{"U", func(c *SyntheticConfig) { c.NumUsers = u / 20 }})
+	}
+	for _, d := range []int{2, 5, 10, 15, 20} {
+		d := d
+		cells = append(cells, mutation{"d", func(c *SyntheticConfig) { c.Dim = d }})
+	}
+	for _, dist := range []Distribution{Uniform, Normal, Zipf} {
+		dist := dist
+		cells = append(cells, mutation{"attrs", func(c *SyntheticConfig) { c.AttrDist = dist }})
+	}
+	for _, cv := range []int{10, 20, 50, 100, 200} {
+		cv := cv
+		cells = append(cells, mutation{"cv", func(c *SyntheticConfig) { c.EventCapMax = cv }})
+	}
+	for _, cu := range []int{2, 4, 6, 8, 10} {
+		cu := cu
+		cells = append(cells, mutation{"cu", func(c *SyntheticConfig) { c.UserCapMax = cu }})
+	}
+	for _, capDist := range []Distribution{Uniform, Normal} {
+		capDist := capDist
+		cells = append(cells, mutation{"caps", func(c *SyntheticConfig) {
+			c.EventCapDist = capDist
+			c.UserCapDist = capDist
+		}})
+	}
+	for _, cf := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		cf := cf
+		cells = append(cells, mutation{"cf", func(c *SyntheticConfig) { c.CFRatio = cf }})
+	}
+
+	for i, cell := range cells {
+		cfg := DefaultSynthetic()
+		cfg.NumEvents, cfg.NumUsers = 10, 40 // fast base; cells override
+		cfg.Seed = int64(100 + i)
+		cell.mutate(&cfg)
+		in, err := cfg.Generate()
+		if err != nil {
+			t.Fatalf("cell %d (%s): %v", i, cell.name, err)
+		}
+		m := core.Greedy(in)
+		if err := core.Validate(in, m); err != nil {
+			t.Fatalf("cell %d (%s): %v", i, cell.name, err)
+		}
+	}
+	if len(cells) != 36 {
+		t.Fatalf("TABLE III grid has %d cells, expected 36 swept values", len(cells))
+	}
+}

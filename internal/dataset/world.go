@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/cluster"
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/randx"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// The paper's preprocessing of the Meetup crawl starts from a *global*
+// population: every event and user carries a location, and "it is unlikely
+// for a user living in a city to attend a meet-up event held in another
+// city", so entities are clustered by location and each city's
+// subpopulation becomes one GEACC instance. World reproduces that pipeline:
+// a geo-tagged population scattered around the TABLE II city centers, a
+// location clustering (k-means), and per-cluster instance extraction.
+
+// GeoEntity is one event or user with a location.
+type GeoEntity struct {
+	Attrs sim.Vector
+	Cap   int
+	X, Y  float64 // location, in km on an arbitrary global plane
+}
+
+// World is a global geo-tagged EBSN population.
+type World struct {
+	Events []GeoEntity
+	Users  []GeoEntity
+}
+
+// WorldConfig parameterizes the global population generator.
+type WorldConfig struct {
+	// CitySpread is the standard deviation (km) of entity locations around
+	// their home city center; default 15.
+	CitySpread float64
+	// CapDist draws capacities (Uniform or Normal, per TABLE II).
+	CapDist Distribution
+	Seed    int64
+}
+
+// DefaultWorld returns the TABLE II population with uniform capacities.
+func DefaultWorld() WorldConfig {
+	return WorldConfig{CitySpread: 15, CapDist: Uniform, Seed: 1}
+}
+
+// cityCenters places the three cities far apart on the plane.
+var cityCenters = [][2]float64{
+	{0, 0},       // vancouver
+	{2000, 1200}, // auckland
+	{4500, 300},  // singapore
+}
+
+// Generate builds the global population: each city contributes its
+// TABLE II counts of events and users, scattered around its center, with
+// city-skewed tag vectors.
+func (c WorldConfig) Generate() (*World, error) {
+	if c.CitySpread <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive city spread %v", c.CitySpread)
+	}
+	if c.CapDist != Uniform && c.CapDist != Normal {
+		return nil, fmt.Errorf("dataset: world capacities use Uniform or Normal, got %q", c.CapDist)
+	}
+	rng := randx.Source(c.Seed)
+	w := &World{}
+	for ci, city := range Cities {
+		skew := cityTagSkew(randx.Sub(rng))
+		attrRng := randx.Sub(rng)
+		capRng := randx.Sub(rng)
+		locRng := randx.Sub(rng)
+		center := cityCenters[ci]
+		place := func() (float64, float64) {
+			return center[0] + locRng.NormFloat64()*c.CitySpread,
+				center[1] + locRng.NormFloat64()*c.CitySpread
+		}
+		for i := 0; i < city.NumEvents; i++ {
+			x, y := place()
+			w.Events = append(w.Events, GeoEntity{
+				Attrs: tagVector(attrRng, skew),
+				Cap:   c.capacity(capRng, 50, 25, 12.5),
+				X:     x, Y: y,
+			})
+		}
+		for i := 0; i < city.NumUsers; i++ {
+			x, y := place()
+			w.Users = append(w.Users, GeoEntity{
+				Attrs: tagVector(attrRng, skew),
+				Cap:   c.capacity(capRng, 4, 2, 1),
+				X:     x, Y: y,
+			})
+		}
+	}
+	return w, nil
+}
+
+func (c WorldConfig) capacity(rng *rand.Rand, max int, mu, sigma float64) int {
+	if c.CapDist == Normal {
+		return randx.NormalInt(rng, mu, sigma, 1, max)
+	}
+	return randx.UniformInt(rng, 1, max)
+}
+
+// CityInstance is one extracted per-city GEACC instance.
+type CityInstance struct {
+	Instance *core.Instance
+	// EventIDs and UserIDs map instance indices back to world indices.
+	EventIDs []int
+	UserIDs  []int
+	// Center is the cluster's location centroid.
+	Center [2]float64
+}
+
+// ExtractCities reproduces the paper's preprocessing: cluster all entities
+// (events and users together) by location into numCities groups, then build
+// one instance per cluster with conflicts sampled at cfRatio. Clusters are
+// returned largest-population first.
+func (w *World) ExtractCities(numCities int, cfRatio float64, seed int64) ([]CityInstance, error) {
+	if numCities < 1 {
+		return nil, fmt.Errorf("dataset: need at least one city, got %d", numCities)
+	}
+	if cfRatio < 0 || cfRatio > 1 {
+		return nil, fmt.Errorf("dataset: conflict ratio %v outside [0, 1]", cfRatio)
+	}
+	if len(w.Events) == 0 || len(w.Users) == 0 {
+		return nil, fmt.Errorf("dataset: empty world")
+	}
+	points := make([]cluster.Point, 0, len(w.Events)+len(w.Users))
+	for _, e := range w.Events {
+		points = append(points, cluster.Point{e.X, e.Y})
+	}
+	for _, u := range w.Users {
+		points = append(points, cluster.Point{u.X, u.Y})
+	}
+	res, err := cluster.KMeans(points, numCities, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	cities := make([]CityInstance, len(res.Centers))
+	for ci := range cities {
+		cities[ci].Center = [2]float64{res.Centers[ci][0], res.Centers[ci][1]}
+	}
+	var events [][]core.Event
+	var users [][]core.User
+	events = make([][]core.Event, len(res.Centers))
+	users = make([][]core.User, len(res.Centers))
+	for i, e := range w.Events {
+		c := res.Assign[i]
+		events[c] = append(events[c], core.Event{Attrs: e.Attrs, Cap: e.Cap})
+		cities[c].EventIDs = append(cities[c].EventIDs, i)
+	}
+	for i, u := range w.Users {
+		c := res.Assign[len(w.Events)+i]
+		users[c] = append(users[c], core.User{Attrs: u.Attrs, Cap: u.Cap})
+		cities[c].UserIDs = append(cities[c].UserIDs, i)
+	}
+
+	cfRng := randx.Source(seed + 104729)
+	out := cities[:0]
+	for ci := range cities {
+		if len(events[ci]) == 0 || len(users[ci]) == 0 {
+			continue // a cluster without both sides cannot form an instance
+		}
+		cf := conflict.Random(cfRng, len(events[ci]), cfRatio)
+		in, err := core.NewInstance(events[ci], users[ci], cf, sim.Euclidean(MeetupTagCount, 1))
+		if err != nil {
+			return nil, err
+		}
+		cities[ci].Instance = in
+		out = append(out, cities[ci])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi := out[i].Instance.NumEvents() + out[i].Instance.NumUsers()
+		pj := out[j].Instance.NumEvents() + out[j].Instance.NumUsers()
+		return pi > pj
+	})
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package encoding (de)serializes GEACC instances and matchings.
+//
+// The JSON instance format carries events (attributes + capacity), users,
+// the conflicting pair list, and the similarity definition — either a named
+// similarity function over the attribute space or an explicit matrix.
+// Matchings round-trip as JSON or as a compact CSV (v,u,sim rows) for the
+// command-line tools.
+package encoding
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// SimKind names a similarity function in the serialized form.
+type SimKind string
+
+// Supported serialized similarity functions.
+const (
+	SimEuclidean SimKind = "euclidean" // the paper's Equation 1
+	SimCosine    SimKind = "cosine"
+	SimManhattan SimKind = "manhattan"
+	SimMatrix    SimKind = "matrix" // explicit values
+)
+
+// InstanceJSON is the serialized instance.
+type InstanceJSON struct {
+	Events    []EntityJSON `json:"events"`
+	Users     []EntityJSON `json:"users"`
+	Conflicts [][2]int     `json:"conflicts,omitempty"`
+
+	Sim  SimKind `json:"sim"`
+	Dim  int     `json:"dim,omitempty"`   // attribute dimensionality (function sims)
+	MaxT float64 `json:"max_t,omitempty"` // attribute bound T (function sims)
+
+	Matrix [][]float64 `json:"matrix,omitempty"` // explicit similarities
+}
+
+// EntityJSON is one serialized event or user.
+type EntityJSON struct {
+	Attrs []float64 `json:"attrs,omitempty"`
+	Cap   int       `json:"cap"`
+}
+
+// EncodeInstance serializes an instance to JSON. Vector instances must have
+// been built with one of this package's named similarity kinds; pass the
+// kind that was used (sim.Func values cannot be introspected).
+func EncodeInstance(w io.Writer, in *core.Instance, kind SimKind, dim int, maxT float64) error {
+	doc := InstanceJSON{Sim: kind}
+	for _, e := range in.Events {
+		doc.Events = append(doc.Events, EntityJSON{Attrs: e.Attrs, Cap: e.Cap})
+	}
+	for _, u := range in.Users {
+		doc.Users = append(doc.Users, EntityJSON{Attrs: u.Attrs, Cap: u.Cap})
+	}
+	if in.Conflicts != nil {
+		doc.Conflicts = in.Conflicts.Pairs()
+	}
+	if kind == SimMatrix {
+		if in.Matrix == nil {
+			return fmt.Errorf("encoding: matrix kind on a vector instance")
+		}
+		doc.Matrix = in.Matrix
+	} else {
+		if in.Matrix != nil {
+			return fmt.Errorf("encoding: matrix instance must use the matrix kind")
+		}
+		if dim <= 0 || maxT <= 0 {
+			return fmt.Errorf("encoding: function similarity needs dim > 0 and maxT > 0")
+		}
+		doc.Dim = dim
+		doc.MaxT = maxT
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SimInfo carries the serialized similarity definition alongside a decoded
+// instance, so callers can re-serialize faithfully.
+type SimInfo struct {
+	Kind SimKind
+	Dim  int
+	MaxT float64
+}
+
+// DecodeInstance parses an instance from JSON and rebuilds the similarity
+// function or matrix.
+func DecodeInstance(r io.Reader) (*core.Instance, error) {
+	in, _, err := DecodeInstanceMeta(r)
+	return in, err
+}
+
+// DecodeInstanceMeta is DecodeInstance plus the similarity metadata needed
+// to re-serialize the instance without guessing.
+func DecodeInstanceMeta(r io.Reader) (*core.Instance, SimInfo, error) {
+	var doc InstanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	info := SimInfo{}
+	if err := dec.Decode(&doc); err != nil {
+		return nil, info, fmt.Errorf("encoding: %w", err)
+	}
+	info = SimInfo{Kind: doc.Sim, Dim: doc.Dim, MaxT: doc.MaxT}
+	events := make([]core.Event, len(doc.Events))
+	for i, e := range doc.Events {
+		events[i] = core.Event{Attrs: e.Attrs, Cap: e.Cap}
+	}
+	users := make([]core.User, len(doc.Users))
+	for i, u := range doc.Users {
+		users[i] = core.User{Attrs: u.Attrs, Cap: u.Cap}
+	}
+	var cf *conflict.Graph
+	if len(doc.Conflicts) > 0 {
+		for _, p := range doc.Conflicts {
+			if p[0] < 0 || p[0] >= len(events) || p[1] < 0 || p[1] >= len(events) {
+				return nil, info, fmt.Errorf("encoding: conflict pair %v out of range", p)
+			}
+		}
+		cf = conflict.FromPairs(len(events), doc.Conflicts)
+	}
+	var in *core.Instance
+	var err error
+	switch doc.Sim {
+	case SimMatrix:
+		in, err = core.NewMatrixInstance(events, users, cf, doc.Matrix)
+	case SimEuclidean:
+		in, err = core.NewInstance(events, users, cf, sim.Euclidean(doc.Dim, doc.MaxT))
+	case SimCosine:
+		in, err = core.NewInstance(events, users, cf, sim.Cosine())
+	case SimManhattan:
+		in, err = core.NewInstance(events, users, cf, sim.Manhattan(doc.Dim, doc.MaxT))
+	default:
+		return nil, info, fmt.Errorf("encoding: unknown similarity kind %q", doc.Sim)
+	}
+	return in, info, err
+}
+
+// MatchingJSON is the serialized matching.
+type MatchingJSON struct {
+	Pairs  []PairJSON `json:"pairs"`
+	MaxSum float64    `json:"max_sum"`
+}
+
+// PairJSON is one serialized assignment.
+type PairJSON struct {
+	V   int     `json:"v"`
+	U   int     `json:"u"`
+	Sim float64 `json:"sim"`
+}
+
+// EncodeMatching serializes a matching to JSON (pairs sorted by (v, u)).
+func EncodeMatching(w io.Writer, m *core.Matching) error {
+	doc := MatchingJSON{MaxSum: m.MaxSum(), Pairs: []PairJSON{}}
+	for _, p := range m.SortedPairs() {
+		doc.Pairs = append(doc.Pairs, PairJSON{V: p.V, U: p.U, Sim: p.Sim})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeMatching parses a matching from JSON.
+func DecodeMatching(r io.Reader) (*core.Matching, error) {
+	var doc MatchingJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	m := core.NewMatching()
+	for _, p := range doc.Pairs {
+		if m.Contains(p.V, p.U) {
+			return nil, fmt.Errorf("encoding: duplicate pair (%d, %d)", p.V, p.U)
+		}
+		m.Add(p.V, p.U, p.Sim)
+	}
+	return m, nil
+}
+
+// WriteMatchingCSV writes "v,u,sim" rows (with header) sorted by (v, u).
+func WriteMatchingCSV(w io.Writer, m *core.Matching) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"v", "u", "sim"}); err != nil {
+		return err
+	}
+	for _, p := range m.SortedPairs() {
+		rec := []string{
+			strconv.Itoa(p.V),
+			strconv.Itoa(p.U),
+			strconv.FormatFloat(p.Sim, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMatchingCSV parses the WriteMatchingCSV format.
+func ReadMatchingCSV(r io.Reader) (*core.Matching, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	m := core.NewMatching()
+	for i, rec := range records {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("encoding: row %d has %d fields, want 3", i, len(rec))
+		}
+		v, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+		u, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+		s, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+		if m.Contains(v, u) {
+			return nil, fmt.Errorf("encoding: duplicate pair (%d, %d)", v, u)
+		}
+		m.Add(v, u, s)
+	}
+	return m, nil
+}

@@ -1,0 +1,83 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+)
+
+// SessionJSON bundles an instance with a matching and solve metadata — the
+// natural archive format for one arrangement run (geacc-solve can be piped
+// into it, dashboards can re-validate it later).
+type SessionJSON struct {
+	// Instance is embedded in its serialized form.
+	Instance json.RawMessage `json:"instance"`
+	Matching MatchingJSON    `json:"matching"`
+	Meta     SessionMeta     `json:"meta"`
+}
+
+// SessionMeta records how the matching was produced.
+type SessionMeta struct {
+	Algorithm string    `json:"algorithm"`
+	Seed      int64     `json:"seed,omitempty"`
+	Seconds   float64   `json:"seconds,omitempty"`
+	CreatedAt time.Time `json:"created_at,omitempty"`
+}
+
+// EncodeSession writes the bundle. The instance is re-serialized with the
+// given similarity kind (see EncodeInstance).
+func EncodeSession(w io.Writer, in *core.Instance, m *core.Matching, meta SessionMeta,
+	kind SimKind, dim int, maxT float64) error {
+	if err := core.Validate(in, m); err != nil {
+		return fmt.Errorf("encoding: refusing to archive an infeasible session: %w", err)
+	}
+	var instBuf, matchBuf bytes.Buffer
+	if err := EncodeInstance(&instBuf, in, kind, dim, maxT); err != nil {
+		return err
+	}
+	if err := EncodeMatching(&matchBuf, m); err != nil {
+		return err
+	}
+	var matching MatchingJSON
+	if err := json.Unmarshal(matchBuf.Bytes(), &matching); err != nil {
+		return err
+	}
+	doc := SessionJSON{
+		Instance: json.RawMessage(instBuf.Bytes()),
+		Matching: matching,
+		Meta:     meta,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeSession reads the bundle back, re-validating the matching against
+// the instance so a corrupted archive cannot masquerade as a result.
+func DecodeSession(r io.Reader) (*core.Instance, *core.Matching, SessionMeta, error) {
+	var doc SessionJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, SessionMeta{}, fmt.Errorf("encoding: %w", err)
+	}
+	in, err := DecodeInstance(bytes.NewReader(doc.Instance))
+	if err != nil {
+		return nil, nil, SessionMeta{}, err
+	}
+	m := core.NewMatching()
+	for _, p := range doc.Matching.Pairs {
+		if m.Contains(p.V, p.U) {
+			return nil, nil, SessionMeta{}, fmt.Errorf("encoding: duplicate pair (%d, %d)", p.V, p.U)
+		}
+		m.Add(p.V, p.U, p.Sim)
+	}
+	if err := core.Validate(in, m); err != nil {
+		return nil, nil, SessionMeta{}, fmt.Errorf("encoding: archived session is infeasible: %w", err)
+	}
+	return in, m, doc.Meta, nil
+}

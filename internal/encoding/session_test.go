@@ -1,0 +1,77 @@
+package encoding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+)
+
+func sessionFixture(t *testing.T) (*core.Instance, *core.Matching) {
+	t.Helper()
+	in := matrixInstance(t)
+	m := core.NewMatching()
+	m.Add(0, 1, 0.9)
+	m.Add(1, 0, 0.2)
+	return in, m
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	in, m := sessionFixture(t)
+	meta := SessionMeta{
+		Algorithm: "greedy",
+		Seed:      7,
+		Seconds:   0.25,
+		CreatedAt: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+	}
+	var buf bytes.Buffer
+	if err := EncodeSession(&buf, in, m, meta, SimMatrix, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	gotIn, gotM, gotMeta, err := DecodeSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIn.NumEvents() != in.NumEvents() || gotIn.NumUsers() != in.NumUsers() {
+		t.Fatal("instance lost")
+	}
+	if gotM.MaxSum() != m.MaxSum() || !gotM.Contains(0, 1) {
+		t.Fatal("matching lost")
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+}
+
+func TestSessionRefusesInfeasible(t *testing.T) {
+	in, _ := sessionFixture(t)
+	bad := core.NewMatching()
+	bad.Add(0, 0, 0.99) // wrong similarity
+	var buf bytes.Buffer
+	if err := EncodeSession(&buf, in, bad, SessionMeta{}, SimMatrix, 0, 0); err == nil {
+		t.Fatal("infeasible session archived")
+	}
+}
+
+func TestDecodeSessionRejectsCorruption(t *testing.T) {
+	in, m := sessionFixture(t)
+	var buf bytes.Buffer
+	if err := EncodeSession(&buf, in, m, SessionMeta{Algorithm: "greedy"}, SimMatrix, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a similarity value inside the archived matching: decode must
+	// notice the inconsistency with the instance.
+	corrupted := strings.Replace(buf.String(), `"sim": 0.9`, `"sim": 0.8`, 1)
+	if corrupted == buf.String() {
+		t.Fatal("fixture assumption broken: pattern not found")
+	}
+	if _, _, _, err := DecodeSession(strings.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted session accepted")
+	}
+	// Garbage input errors cleanly.
+	if _, _, _, err := DecodeSession(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated session accepted")
+	}
+}

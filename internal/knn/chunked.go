@@ -1,0 +1,143 @@
+package knn
+
+import (
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Chunked is the default Index for Greedy-GEACC. A stream materializes only
+// the next chunk of nearest neighbors (top-k selection over one linear scan)
+// and refills with geometrically growing chunks when exhausted. Nodes that
+// consume only a handful of neighbors — the overwhelmingly common case once
+// capacities saturate — therefore cost one O(n) scan instead of an
+// O(n log n) full sort, which is what keeps Greedy-GEACC near-linear in the
+// scalability experiment (Fig. 5a/5b).
+type Chunked struct {
+	data      []sim.Vector
+	f         sim.Func
+	firstSize int
+}
+
+// DefaultChunkSize is the number of neighbors materialized by a stream's
+// first scan. Subsequent refills double the chunk size.
+const DefaultChunkSize = 8
+
+// NewChunked builds a Chunked index over data using similarity f. chunkSize
+// controls the first refill; values < 1 select DefaultChunkSize.
+func NewChunked(data []sim.Vector, f sim.Func, chunkSize int) *Chunked {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Chunked{data: data, f: f, firstSize: chunkSize}
+}
+
+// Len returns the number of indexed items.
+func (ix *Chunked) Len() int { return len(ix.data) }
+
+// Stream returns a lazily-refilled neighbor cursor for query.
+func (ix *Chunked) Stream(query sim.Vector) Stream {
+	return &chunkedStream{ix: ix, query: query, chunk: ix.firstSize}
+}
+
+type chunkedStream struct {
+	ix    *Chunked
+	query sim.Vector
+	chunk int // size of the next refill
+
+	buf    []Pair // current chunk, sorted (sim desc, id asc)
+	pos    int    // cursor within buf
+	lastS  float64
+	lastID int
+	primed bool // false until the first refill
+	done   bool // no more neighbors beyond the cursor
+}
+
+// Pair is an (id, similarity) candidate used internally by index
+// implementations and their tests.
+type Pair struct {
+	ID int
+	S  float64
+}
+
+func (s *chunkedStream) Next() (int, float64, bool) {
+	for s.pos >= len(s.buf) {
+		if s.done {
+			return 0, 0, false
+		}
+		s.refill()
+	}
+	p := s.buf[s.pos]
+	s.pos++
+	s.lastS, s.lastID = p.S, p.ID
+	return p.ID, p.S, true
+}
+
+// refill scans all items strictly after the cursor position in the global
+// order and keeps the best s.chunk of them using a bounded min-heap.
+func (s *chunkedStream) refill() {
+	k := s.chunk
+	s.chunk *= 2
+	heap := make([]Pair, 0, k)      // min-heap on the (sim desc, id asc) order
+	worse := func(a, b Pair) bool { // a strictly after b in global order
+		return after(a.S, a.ID, b.S, b.ID)
+	}
+	siftDown := func(i int) {
+		n := len(heap)
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r < n && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for id, v := range s.ix.data {
+		sv := s.ix.f(s.query, v)
+		if sv <= 0 {
+			continue
+		}
+		if s.primed && !after(sv, id, s.lastS, s.lastID) {
+			continue // already yielded or currently buffered region
+		}
+		c := Pair{ID: id, S: sv}
+		if len(heap) < k {
+			heap = append(heap, c)
+			if len(heap) == k {
+				for i := k/2 - 1; i >= 0; i-- {
+					siftDown(i)
+				}
+			}
+			continue
+		}
+		// heap[0] is the worst retained candidate; replace it if c is better.
+		if worse(heap[0], c) {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	if len(heap) < k {
+		for i := len(heap)/2 - 1; i >= 0; i-- {
+			siftDown(i)
+		}
+		s.done = true // the scan found fewer than k remaining items
+	}
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	s.buf = heap
+	s.pos = 0
+	if len(heap) > 0 {
+		s.primed = true
+		// Advance the cursor bound to the last buffered element so the next
+		// refill resumes after everything currently buffered.
+		lastBuffered := heap[len(heap)-1]
+		s.lastS, s.lastID = lastBuffered.S, lastBuffered.ID
+	}
+}

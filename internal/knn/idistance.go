@@ -1,0 +1,264 @@
+package knn
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// IDistance is an iDistance-style index (Jagadish et al., TODS'05 — cited by
+// the paper as a suitable index for Greedy-GEACC's NN queries). Points are
+// partitioned around m reference points; each point is mapped to the single
+// dimension key = partition·C + dist(point, ref). The original system stores
+// the keys in a B+-tree; this in-memory reproduction substitutes a sorted
+// array per partition with binary search, which supports the same range
+// expansions with identical asymptotics for static data.
+//
+// A stream performs incremental radius expansion: all points within radius r
+// of the query are located through the one-dimensional mapping (for
+// partition i, candidate keys lie in [d(q,refᵢ)−r, d(q,refᵢ)+r] by the
+// triangle inequality), verified by true distance, and yielded in exact
+// order once r confirms them.
+type IDistance struct {
+	data []sim.Vector
+	f    sim.Func
+	refs []sim.Vector
+	// Per partition: points sorted by distance to the partition's reference.
+	parts [][]refEntry
+	// Upper bound on the distance between any two indexed points, used to
+	// size the initial radius-expansion step.
+	maxDist float64
+}
+
+type refEntry struct {
+	id   int
+	dist float64 // distance to the partition's reference point
+}
+
+// NewIDistance builds an iDistance index with m reference points chosen by a
+// lightweight k-means-style refinement (m is clamped to [1, len(data)]).
+// f must be a similarity that strictly decreases with Euclidean distance.
+func NewIDistance(data []sim.Vector, f sim.Func, m int) *IDistance {
+	ix := &IDistance{data: data, f: f}
+	if len(data) == 0 {
+		return ix
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > len(data) {
+		m = len(data)
+	}
+	ix.refs = chooseReferences(data, m)
+	ix.parts = make([][]refEntry, len(ix.refs))
+	for id, v := range data {
+		best, bestD := 0, math.Inf(1)
+		for ri, ref := range ix.refs {
+			if d := sim.Distance(v, ref); d < bestD {
+				best, bestD = ri, d
+			}
+		}
+		ix.parts[best] = append(ix.parts[best], refEntry{id: id, dist: bestD})
+		if bestD > ix.maxDist {
+			ix.maxDist = bestD
+		}
+	}
+	for _, p := range ix.parts {
+		sort.Slice(p, func(i, j int) bool {
+			if p[i].dist != p[j].dist {
+				return p[i].dist < p[j].dist
+			}
+			return p[i].id < p[j].id
+		})
+	}
+	// A query can be far from every reference; bound the search radius by
+	// the space diameter estimate: max in-partition radius plus the largest
+	// reference-to-reference distance.
+	var refSpread float64
+	for i := range ix.refs {
+		for j := i + 1; j < len(ix.refs); j++ {
+			if d := sim.Distance(ix.refs[i], ix.refs[j]); d > refSpread {
+				refSpread = d
+			}
+		}
+	}
+	ix.maxDist = 2*ix.maxDist + refSpread
+	if ix.maxDist == 0 {
+		ix.maxDist = 1
+	}
+	return ix
+}
+
+// chooseReferences spreads m references over the data with a farthest-point
+// sweep (deterministic: starts from the point with the smallest id).
+func chooseReferences(data []sim.Vector, m int) []sim.Vector {
+	refs := []sim.Vector{data[0]}
+	minDist := make([]float64, len(data))
+	for i, v := range data {
+		minDist[i] = sim.Distance(v, refs[0])
+	}
+	for len(refs) < m {
+		far, farD := -1, -1.0
+		for i, d := range minDist {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if farD == 0 {
+			break // fewer than m distinct points
+		}
+		refs = append(refs, data[far])
+		for i, v := range data {
+			if d := sim.Distance(v, refs[len(refs)-1]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return refs
+}
+
+// Len returns the number of indexed items.
+func (ix *IDistance) Len() int { return len(ix.data) }
+
+// Stream returns an incremental radius-expansion cursor for query.
+func (ix *IDistance) Stream(query sim.Vector) Stream {
+	s := &idStream{ix: ix, query: query}
+	if len(ix.data) > 0 {
+		s.qDist = make([]float64, len(ix.refs))
+		s.lo = make([]int, len(ix.refs))
+		s.hi = make([]int, len(ix.refs))
+		for i, ref := range ix.refs {
+			s.qDist[i] = sim.Distance(query, ref)
+			// Start both cursors at the key nearest to d(q, ref): lo walks
+			// toward smaller keys, hi toward larger ones.
+			part := ix.parts[i]
+			at := sort.Search(len(part), func(k int) bool { return part[k].dist >= s.qDist[i] })
+			s.lo[i], s.hi[i] = at-1, at
+		}
+		s.step = ix.maxDist / 16
+		if s.step == 0 {
+			s.step = 1
+		}
+	}
+	return s
+}
+
+type idStream struct {
+	ix    *IDistance
+	query sim.Vector
+
+	qDist  []float64 // distance from query to each reference
+	lo, hi []int     // per-partition unexplored key window edges
+	r      float64   // confirmed radius: all points with dist <= r are found
+	step   float64
+
+	found []Pair // verified candidates, kept as a min-heap on (dist, id)
+	done  bool
+}
+
+func (s *idStream) Next() (int, float64, bool) {
+	for {
+		// Yield a found candidate once the confirmed radius covers it.
+		if len(s.found) > 0 {
+			bestDist := -s.found[0].S // stored negated; see push
+			if bestDist <= s.r || s.done {
+				p := s.popFound()
+				sv := s.ix.f(s.query, s.ix.data[p.ID])
+				if sv <= 0 {
+					s.found = nil
+					s.done = true
+					return 0, 0, false
+				}
+				return p.ID, sv, true
+			}
+		} else if s.done {
+			return 0, 0, false
+		}
+		s.expand()
+	}
+}
+
+// expand grows the confirmed radius by one step and pulls every point whose
+// key window intersects the new annulus into the candidate heap.
+func (s *idStream) expand() {
+	if s.done {
+		return
+	}
+	s.r += s.step
+	s.step *= 2
+	exhausted := true
+	for pi, part := range s.ix.parts {
+		// Extend the low edge: keys >= qDist - r.
+		for s.lo[pi] >= 0 && part[s.lo[pi]].dist >= s.qDist[pi]-s.r {
+			s.verify(part[s.lo[pi]].id)
+			s.lo[pi]--
+		}
+		// Extend the high edge: keys <= qDist + r.
+		for s.hi[pi] < len(part) && part[s.hi[pi]].dist <= s.qDist[pi]+s.r {
+			s.verify(part[s.hi[pi]].id)
+			s.hi[pi]++
+		}
+		if s.lo[pi] >= 0 || s.hi[pi] < len(part) {
+			exhausted = false
+		}
+	}
+	if exhausted {
+		// Every key window is fully scanned: all candidates are in found.
+		// (The radius alone is never a termination proof — the query need
+		// not lie inside the indexed space, so only window exhaustion
+		// guarantees no unseen point can precede a found one.)
+		s.done = true
+	}
+}
+
+func (s *idStream) verify(id int) {
+	d := sim.Distance(s.query, s.ix.data[id])
+	s.pushFound(Pair{ID: id, S: -d}) // negate so smaller distance = larger S
+}
+
+// The candidate heap orders by distance ascending, id ascending. Distances
+// are stored negated in Pair.S so the comparisons below read naturally.
+func (s *idStream) foundLess(a, b Pair) bool {
+	if a.S != b.S {
+		return a.S > b.S // larger S = smaller distance
+	}
+	return a.ID < b.ID
+}
+
+func (s *idStream) pushFound(p Pair) {
+	s.found = append(s.found, p)
+	i := len(s.found) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.foundLess(s.found[i], s.found[parent]) {
+			break
+		}
+		s.found[i], s.found[parent] = s.found[parent], s.found[i]
+		i = parent
+	}
+}
+
+func (s *idStream) popFound() Pair {
+	top := s.found[0]
+	last := len(s.found) - 1
+	s.found[0] = s.found[last]
+	s.found = s.found[:last]
+	i, n := 0, len(s.found)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.foundLess(s.found[l], s.found[m]) {
+			m = l
+		}
+		if r < n && s.foundLess(s.found[r], s.found[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.found[i], s.found[m] = s.found[m], s.found[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,221 @@
+package knn
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// KDTree is an exact Euclidean nearest-neighbor index with best-first
+// incremental traversal. It orders neighbors by Euclidean distance, which for
+// the paper's similarity (Equation 1) is exactly non-increasing similarity
+// order. The similarity reported to callers is computed with the same
+// normalization, so KDTree is only valid for Euclidean-style similarities;
+// construct it with the instance's dimensionality and attribute bound.
+type KDTree struct {
+	data   []sim.Vector
+	f      sim.Func
+	root   *kdNode
+	leafSz int
+}
+
+type kdNode struct {
+	// Bounding box of every point beneath this node.
+	lo, hi sim.Vector
+	// Internal node: children; leaf: point ids.
+	left, right *kdNode
+	points      []int
+}
+
+// NewKDTree builds a kd-tree over data. f must be a similarity that is a
+// strictly decreasing function of Euclidean distance (e.g. sim.Euclidean);
+// the tree uses distance for traversal and f only to report similarities.
+func NewKDTree(data []sim.Vector, f sim.Func) *KDTree {
+	t := &KDTree{data: data, f: f, leafSz: 16}
+	if len(data) > 0 {
+		ids := make([]int, len(data))
+		for i := range ids {
+			ids[i] = i
+		}
+		t.root = t.build(ids, 0)
+	}
+	return t
+}
+
+// Len returns the number of indexed items.
+func (t *KDTree) Len() int { return len(t.data) }
+
+func (t *KDTree) build(ids []int, depth int) *kdNode {
+	n := &kdNode{}
+	d := len(t.data[ids[0]])
+	n.lo = make(sim.Vector, d)
+	n.hi = make(sim.Vector, d)
+	for i := range n.lo {
+		n.lo[i] = math.Inf(1)
+		n.hi[i] = math.Inf(-1)
+	}
+	for _, id := range ids {
+		for i, x := range t.data[id] {
+			if x < n.lo[i] {
+				n.lo[i] = x
+			}
+			if x > n.hi[i] {
+				n.hi[i] = x
+			}
+		}
+	}
+	if len(ids) <= t.leafSz {
+		n.points = ids
+		return n
+	}
+	// Split on the widest dimension at the median.
+	axis, width := 0, -1.0
+	for i := range n.lo {
+		if w := n.hi[i] - n.lo[i]; w > width {
+			axis, width = i, w
+		}
+	}
+	if width == 0 {
+		// All points identical: keep as a (possibly oversized) leaf.
+		n.points = ids
+		return n
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		va, vb := t.data[ids[a]][axis], t.data[ids[b]][axis]
+		if va != vb {
+			return va < vb
+		}
+		return ids[a] < ids[b]
+	})
+	mid := len(ids) / 2
+	// Keep equal coordinates on one side so both halves are non-empty.
+	for mid < len(ids)-1 && t.data[ids[mid]][axis] == t.data[ids[mid-1]][axis] {
+		mid++
+	}
+	if mid == len(ids) {
+		n.points = ids
+		return n
+	}
+	n.left = t.build(ids[:mid], depth+1)
+	n.right = t.build(ids[mid:], depth+1)
+	return n
+}
+
+// minSqDist returns the squared distance from q to the node's bounding box.
+func (n *kdNode) minSqDist(q sim.Vector) float64 {
+	var s float64
+	for i, x := range q {
+		if x < n.lo[i] {
+			d := n.lo[i] - x
+			s += d * d
+		} else if x > n.hi[i] {
+			d := x - n.hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// kdEntry is a best-first frontier element: either a tree node or a point.
+type kdEntry struct {
+	sqDist float64
+	node   *kdNode // nil for point entries
+	id     int
+}
+
+// kdStream yields points in ascending distance order via best-first search.
+type kdStream struct {
+	t     *KDTree
+	query sim.Vector
+	pq    []kdEntry // binary min-heap
+}
+
+// Stream returns a best-first neighbor cursor for query.
+func (t *KDTree) Stream(query sim.Vector) Stream {
+	s := &kdStream{t: t, query: query}
+	if t.root != nil {
+		s.push(kdEntry{sqDist: t.root.minSqDist(query), node: t.root})
+	}
+	return s
+}
+
+// less orders the frontier: nearer first; at equal distance boxes before
+// points (a box may still contain equally-near points that must be surfaced
+// before any point at that distance is yielded, to honor the id tie-break);
+// equal-distance points by ascending id.
+func (s *kdStream) less(a, b kdEntry) bool {
+	if a.sqDist != b.sqDist {
+		return a.sqDist < b.sqDist
+	}
+	aBox, bBox := a.node != nil, b.node != nil
+	if aBox != bBox {
+		return aBox
+	}
+	if !aBox {
+		return a.id < b.id
+	}
+	return false
+}
+
+func (s *kdStream) push(e kdEntry) {
+	s.pq = append(s.pq, e)
+	i := len(s.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(s.pq[i], s.pq[p]) {
+			break
+		}
+		s.pq[i], s.pq[p] = s.pq[p], s.pq[i]
+		i = p
+	}
+}
+
+func (s *kdStream) pop() kdEntry {
+	top := s.pq[0]
+	last := len(s.pq) - 1
+	s.pq[0] = s.pq[last]
+	s.pq = s.pq[:last]
+	i, n := 0, len(s.pq)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(s.pq[l], s.pq[m]) {
+			m = l
+		}
+		if r < n && s.less(s.pq[r], s.pq[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.pq[i], s.pq[m] = s.pq[m], s.pq[i]
+		i = m
+	}
+	return top
+}
+
+func (s *kdStream) Next() (int, float64, bool) {
+	for len(s.pq) > 0 {
+		e := s.pop()
+		if e.node == nil {
+			sv := s.t.f(s.query, s.t.data[e.id])
+			if sv <= 0 {
+				// Distance order means every later point also has sim <= 0.
+				s.pq = nil
+				return 0, 0, false
+			}
+			return e.id, sv, true
+		}
+		n := e.node
+		if n.points != nil {
+			for _, id := range n.points {
+				s.push(kdEntry{sqDist: sim.SquaredDistance(s.query, s.t.data[id]), id: id})
+			}
+			continue
+		}
+		s.push(kdEntry{sqDist: n.left.minSqDist(s.query), node: n.left})
+		s.push(kdEntry{sqDist: n.right.minSqDist(s.query), node: n.right})
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,116 @@
+// Package knn provides incremental nearest-neighbor streams over a fixed set
+// of attribute vectors.
+//
+// Greedy-GEACC (Algorithm 2 of the paper) repeatedly asks each event/user
+// node for its "next feasible unvisited nearest neighbor". The paper notes
+// that any k-NN index can serve these queries and cites iDistance and the
+// VA-File. This package offers several interchangeable implementations
+// behind one interface:
+//
+//   - Sorted: sorts all candidates up front; the exactness oracle.
+//   - Chunked: lazy top-k selection with geometric refill; near-linear total
+//     work when only a few neighbors are consumed (the common case), and the
+//     default for Greedy-GEACC.
+//   - KDTree: best-first traversal of a kd-tree; exact, fast in low
+//     dimensions.
+//   - IDistance: an iDistance-style one-dimensional mapping (reference
+//     points + sorted projection; the paper's B+-tree is substituted by a
+//     binary-searched sorted array) with incremental radius expansion.
+//
+// All streams yield items in non-increasing similarity order and stop before
+// items whose similarity is zero, because GEACC never assigns
+// zero-similarity pairs. Sorted and Chunked break similarity ties by
+// ascending id. KDTree and IDistance traverse in exact distance order, which
+// agrees with similarity order except when two distinct distances round to
+// the same similarity value; within such floating-point collisions their
+// yield order follows distance, not id.
+package knn
+
+import (
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Index answers incremental nearest-neighbor queries over a fixed data set.
+type Index interface {
+	// Stream returns a cursor yielding item ids in non-increasing similarity
+	// to query (ties broken by ascending id), omitting zero-similarity items.
+	Stream(query sim.Vector) Stream
+	// Len returns the number of indexed items.
+	Len() int
+}
+
+// Stream is a cursor over neighbors of one query, most similar first.
+type Stream interface {
+	// Next returns the next neighbor and its similarity. ok is false when
+	// the stream is exhausted (all remaining items have zero similarity).
+	Next() (id int, s float64, ok bool)
+}
+
+// after reports whether candidate (cs, cid) comes strictly after the cursor
+// position (ps, pid) in the global (similarity desc, id asc) order.
+func after(cs float64, cid int, ps float64, pid int) bool {
+	if cs != ps {
+		return cs < ps
+	}
+	return cid > pid
+}
+
+// Sorted is the reference Index: each Stream call computes and sorts all
+// similarities. O(n log n) per stream; exact and simple. Use it as the
+// testing oracle and for small instances.
+type Sorted struct {
+	data []sim.Vector
+	f    sim.Func
+}
+
+// NewSorted builds a Sorted index over data using similarity f.
+func NewSorted(data []sim.Vector, f sim.Func) *Sorted {
+	return &Sorted{data: data, f: f}
+}
+
+// Len returns the number of indexed items.
+func (ix *Sorted) Len() int { return len(ix.data) }
+
+// Stream returns a fully-sorted neighbor cursor for query.
+func (ix *Sorted) Stream(query sim.Vector) Stream {
+	type cand struct {
+		id int
+		s  float64
+	}
+	cands := make([]cand, 0, len(ix.data))
+	for id, v := range ix.data {
+		if s := ix.f(query, v); s > 0 {
+			cands = append(cands, cand{id, s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]int, len(cands))
+	ss := make([]float64, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+		ss[i] = c.s
+	}
+	return &sliceStream{ids: ids, sims: ss}
+}
+
+type sliceStream struct {
+	ids  []int
+	sims []float64
+	pos  int
+}
+
+func (s *sliceStream) Next() (int, float64, bool) {
+	if s.pos >= len(s.ids) {
+		return 0, 0, false
+	}
+	id, sv := s.ids[s.pos], s.sims[s.pos]
+	s.pos++
+	return id, sv, true
+}

@@ -1,0 +1,149 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// LSH is an approximate Euclidean index using p-stable (Gaussian)
+// locality-sensitive hashing: L tables of k concatenated projections
+// h(x) = ⌊(a·x + b)/w⌋. A query's stream is the exact-similarity-sorted
+// union of its buckets across tables.
+//
+// Unlike every other index in this package, LSH is APPROXIMATE: a stream
+// may omit true neighbors whose buckets differ from the query's, so
+// Greedy-GEACC run on it can return a different (typically slightly worse)
+// matching. It trades arrangement quality for query time on very large user
+// sets; the ablation benchmarks quantify the trade.
+type LSH struct {
+	data []sim.Vector
+	f    sim.Func
+
+	tables []lshTable
+	w      float64
+}
+
+type lshTable struct {
+	projs   [][]float64 // k projection vectors
+	offsets []float64   // k offsets in [0, w)
+	buckets map[uint64][]int
+}
+
+// NewLSH builds an index with numTables tables of numHashes concatenated
+// projections each, seeded deterministically. Bucket width is derived from
+// the data's coordinate spread.
+func NewLSH(data []sim.Vector, f sim.Func, numTables, numHashes int, seed int64) *LSH {
+	if numTables < 1 {
+		numTables = 4
+	}
+	if numHashes < 1 {
+		numHashes = 4
+	}
+	ix := &LSH{data: data, f: f}
+	if len(data) == 0 {
+		return ix
+	}
+	d := len(data[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// Width heuristic: a fraction of the average coordinate spread scaled
+	// by √d, so buckets hold a workable number of near points.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	spread := hi - lo
+	if spread == 0 {
+		spread = 1
+	}
+	ix.w = spread * math.Sqrt(float64(d)) / 4
+
+	ix.tables = make([]lshTable, numTables)
+	for t := range ix.tables {
+		tab := lshTable{buckets: make(map[uint64][]int)}
+		for h := 0; h < numHashes; h++ {
+			proj := make([]float64, d)
+			for i := range proj {
+				proj[i] = rng.NormFloat64()
+			}
+			tab.projs = append(tab.projs, proj)
+			tab.offsets = append(tab.offsets, rng.Float64()*ix.w)
+		}
+		for id, v := range data {
+			key := tab.key(v, ix.w)
+			tab.buckets[key] = append(tab.buckets[key], id)
+		}
+		ix.tables[t] = tab
+	}
+	return ix
+}
+
+// key computes the bucket signature of one vector.
+func (t *lshTable) key(v sim.Vector, w float64) uint64 {
+	// FNV-style mix of the k quantized projections.
+	var h uint64 = 14695981039346656037
+	for i, proj := range t.projs {
+		var dot float64
+		for j, x := range v {
+			dot += proj[j] * x
+		}
+		q := int64(math.Floor((dot + t.offsets[i]) / w))
+		h ^= uint64(q)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Len returns the number of indexed items.
+func (ix *LSH) Len() int { return len(ix.data) }
+
+// Stream returns the query's candidate set (union of its buckets), sorted
+// by exact similarity descending with ascending-id ties. Items outside the
+// buckets are not yielded — the approximation.
+func (ix *LSH) Stream(query sim.Vector) Stream {
+	seen := map[int]bool{}
+	var cands []Pair
+	for t := range ix.tables {
+		key := ix.tables[t].key(query, ix.w)
+		for _, id := range ix.tables[t].buckets[key] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if s := ix.f(query, ix.data[id]); s > 0 {
+				cands = append(cands, Pair{ID: id, S: s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].S != cands[j].S {
+			return cands[i].S > cands[j].S
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	return &lshStream{cands: cands}
+}
+
+type lshStream struct {
+	cands []Pair
+	pos   int
+}
+
+func (s *lshStream) Next() (int, float64, bool) {
+	if s.pos >= len(s.cands) {
+		return 0, 0, false
+	}
+	p := s.cands[s.pos]
+	s.pos++
+	return p.ID, p.S, true
+}

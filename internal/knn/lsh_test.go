@@ -1,0 +1,123 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+func TestLSHStreamSortedAndValid(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(61))
+	data := testData(rng, 500)
+	ix := NewLSH(data, f, 6, 4, 1)
+	if ix.Len() != 500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	query := testData(rng, 1)[0]
+	prev := 2.0
+	seen := map[int]bool{}
+	s := ix.Stream(query)
+	for {
+		id, sv, ok := s.Next()
+		if !ok {
+			break
+		}
+		if sv > prev {
+			t.Fatal("LSH stream not sorted")
+		}
+		prev = sv
+		if sv <= 0 {
+			t.Fatal("non-positive similarity yielded")
+		}
+		if seen[id] {
+			t.Fatal("duplicate candidate across tables")
+		}
+		seen[id] = true
+		// Every yielded similarity must be the true one.
+		if want := f(query, data[id]); sv != want {
+			t.Fatalf("similarity %v != exact %v", sv, want)
+		}
+	}
+}
+
+func TestLSHRecallOnSelfQueries(t *testing.T) {
+	// Querying with an indexed point must surface the point itself (it
+	// shares all its own buckets) — a basic sanity floor for recall.
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(62))
+	data := testData(rng, 300)
+	ix := NewLSH(data, f, 6, 4, 2)
+	hits := 0
+	for id := 0; id < 50; id++ {
+		s := ix.Stream(data[id])
+		firstID, firstSim, ok := s.Next()
+		if ok && firstID == id && firstSim == 1 {
+			hits++
+		}
+	}
+	if hits != 50 {
+		t.Fatalf("self-recall %d/50", hits)
+	}
+}
+
+func TestLSHTopNeighborRecall(t *testing.T) {
+	// The true nearest neighbor should be retrieved for a large majority of
+	// queries at these parameters.
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(63))
+	data := testData(rng, 1000)
+	ix := NewLSH(data, f, 8, 4, 3)
+	oracle := NewSorted(data, f)
+	hits, queries := 0, 50
+	for q := 0; q < queries; q++ {
+		query := testData(rng, 1)[0]
+		trueID, _, ok := oracle.Stream(query).Next()
+		if !ok {
+			continue
+		}
+		gotID, _, ok := ix.Stream(query).Next()
+		if ok && gotID == trueID {
+			hits++
+		}
+	}
+	if hits < queries*6/10 {
+		t.Fatalf("top-1 recall %d/%d too low", hits, queries)
+	}
+}
+
+func TestLSHEmptyAndDegenerate(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	ix := NewLSH(nil, f, 0, 0, 1)
+	if ix.Len() != 0 {
+		t.Error("Len on empty")
+	}
+	if _, _, ok := ix.Stream(make(sim.Vector, testDim)).Next(); ok {
+		t.Error("empty index yielded")
+	}
+	// Identical points all land in one bucket.
+	data := []sim.Vector{{5, 5, 5}, {5, 5, 5}, {5, 5, 5}}
+	ix = NewLSH(data, f, 2, 2, 1)
+	got := drain(ix.Stream(sim.Vector{5, 5, 5}), 10)
+	if len(got) != 3 {
+		t.Fatalf("got %d of 3 identical points", len(got))
+	}
+}
+
+func TestLSHDeterministicPerSeed(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(64))
+	data := testData(rng, 200)
+	query := testData(rng, 1)[0]
+	a := drain(NewLSH(data, f, 4, 3, 9).Stream(query), 50)
+	b := drain(NewLSH(data, f, 4, 3, 9).Stream(query), 50)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidate count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic stream")
+		}
+	}
+}

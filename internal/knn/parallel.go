@@ -1,0 +1,163 @@
+package knn
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// Parallel wraps the Chunked strategy with a parallel refill: the linear
+// top-k scan is split across workers and the per-worker champions are
+// merged. Results are bit-identical to Chunked (selection happens after a
+// deterministic merge), so Greedy-GEACC's matching is unchanged; only the
+// wall-clock of the Fig. 5a/5b scalability regime (10⁵ users) improves on
+// multi-core machines.
+type Parallel struct {
+	data      []sim.Vector
+	f         sim.Func
+	firstSize int
+	workers   int
+}
+
+// NewParallel builds a parallel index over data. workers <= 0 selects
+// GOMAXPROCS; chunkSize <= 0 selects DefaultChunkSize.
+func NewParallel(data []sim.Vector, f sim.Func, chunkSize, workers int) *Parallel {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel{data: data, f: f, firstSize: chunkSize, workers: workers}
+}
+
+// Len returns the number of indexed items.
+func (ix *Parallel) Len() int { return len(ix.data) }
+
+// Stream returns a lazily-refilled neighbor cursor for query.
+func (ix *Parallel) Stream(query sim.Vector) Stream {
+	return &parallelStream{ix: ix, query: query, chunk: ix.firstSize}
+}
+
+type parallelStream struct {
+	ix    *Parallel
+	query sim.Vector
+	chunk int
+
+	buf    []Pair
+	pos    int
+	lastS  float64
+	lastID int
+	primed bool
+	done   bool
+}
+
+func (s *parallelStream) Next() (int, float64, bool) {
+	for s.pos >= len(s.buf) {
+		if s.done {
+			return 0, 0, false
+		}
+		s.refill()
+	}
+	p := s.buf[s.pos]
+	s.pos++
+	s.lastS, s.lastID = p.S, p.ID
+	return p.ID, p.S, true
+}
+
+// refill scans the data in parallel shards, keeps each shard's best k
+// candidates after the cursor, merges, and retains the global best k.
+func (s *parallelStream) refill() {
+	k := s.chunk
+	s.chunk *= 2
+	n := len(s.ix.data)
+	workers := s.ix.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			// Bounded top-k selection over the shard (a min-heap on the
+			// global order), exactly like the sequential Chunked scan —
+			// never materializing more than k candidates.
+			heap := make([]Pair, 0, k)
+			siftDown := func(i int) {
+				hn := len(heap)
+				for {
+					l, r := 2*i+1, 2*i+2
+					m := i
+					if l < hn && after(heap[l].S, heap[l].ID, heap[m].S, heap[m].ID) {
+						m = l
+					}
+					if r < hn && after(heap[r].S, heap[r].ID, heap[m].S, heap[m].ID) {
+						m = r
+					}
+					if m == i {
+						return
+					}
+					heap[i], heap[m] = heap[m], heap[i]
+					i = m
+				}
+			}
+			for id := lo; id < hi; id++ {
+				sv := s.ix.f(s.query, s.ix.data[id])
+				if sv <= 0 {
+					continue
+				}
+				if s.primed && !after(sv, id, s.lastS, s.lastID) {
+					continue
+				}
+				c := Pair{ID: id, S: sv}
+				if len(heap) < k {
+					heap = append(heap, c)
+					if len(heap) == k {
+						for i := k/2 - 1; i >= 0; i-- {
+							siftDown(i)
+						}
+					}
+					continue
+				}
+				if after(heap[0].S, heap[0].ID, c.S, c.ID) {
+					heap[0] = c
+					siftDown(0)
+				}
+			}
+			sort.Slice(heap, func(i, j int) bool {
+				return after(heap[j].S, heap[j].ID, heap[i].S, heap[i].ID)
+			})
+			shards[w] = heap
+		}(w)
+	}
+	wg.Wait()
+
+	var merged []Pair
+	for _, shard := range shards {
+		merged = append(merged, shard...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		return after(merged[j].S, merged[j].ID, merged[i].S, merged[i].ID)
+	})
+	if len(merged) < k {
+		s.done = true
+	} else {
+		merged = merged[:k]
+	}
+	s.buf = merged
+	s.pos = 0
+	if len(merged) > 0 {
+		s.primed = true
+		last := merged[len(merged)-1]
+		s.lastS, s.lastID = last.S, last.ID
+	}
+}

@@ -1,0 +1,122 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+func TestParallelMatchesChunkedExactly(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		data := testData(rng, 100+rng.Intn(200))
+		query := testData(rng, 1)[0]
+		chunkSize := 1 + rng.Intn(10)
+		want := drain(NewChunked(data, f, chunkSize).Stream(query), len(data))
+		for _, workers := range []int{1, 2, 4, 7} {
+			got := drain(NewParallel(data, f, chunkSize, workers).Stream(query), len(data))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers=%d: %d vs %d neighbors", trial, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers=%d neighbor %d: %+v vs %+v",
+						trial, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesOracleWithTies(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	rng := rand.New(rand.NewSource(52))
+	data := gridData(rng, 120)
+	query := gridData(rng, 1)[0]
+	want := drain(NewSorted(data, f).Stream(query), len(data))
+	got := drain(NewParallel(data, f, 4, 4).Stream(query), len(data))
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d neighbors", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor %d: %+v vs oracle %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelEmptyAndDefaults(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	ix := NewParallel(nil, f, 0, 0)
+	if ix.Len() != 0 {
+		t.Error("Len on empty")
+	}
+	if _, _, ok := ix.Stream(make(sim.Vector, testDim)).Next(); ok {
+		t.Error("empty index yielded")
+	}
+	// Single item with more workers than items.
+	data := []sim.Vector{{1, 2, 3}}
+	got := drain(NewParallel(data, f, 0, 16).Stream(sim.Vector{1, 2, 3}), 5)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParallelEquivalenceProperty(t *testing.T) {
+	f := sim.Euclidean(testDim, testMaxT)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := testData(rng, 10+rng.Intn(100))
+		query := testData(rng, 1)[0]
+		want := drain(NewSorted(data, f).Stream(query), len(data))
+		got := drain(NewParallel(data, f, 1+rng.Intn(8), 1+rng.Intn(8)).Stream(query), len(data))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParallelVsChunkedRefill(b *testing.B) {
+	// The paper's d = 20 at the Fig. 5a/5b user scale: enough similarity
+	// arithmetic per refill for the parallel shards to pay off.
+	const d = 20
+	f := sim.Euclidean(d, testMaxT)
+	rng := rand.New(rand.NewSource(53))
+	data := make([]sim.Vector, 200000)
+	for i := range data {
+		v := make(sim.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64() * testMaxT
+		}
+		data[i] = v
+	}
+	query := data[len(data)-1]
+	b.Run("chunked", func(b *testing.B) {
+		ix := NewChunked(data, f, 16)
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := ix.Stream(query).Next(); !ok {
+				b.Fatal("no neighbor")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		ix := NewParallel(data, f, 16, 0)
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := ix.Stream(query).Next(); !ok {
+				b.Fatal("no neighbor")
+			}
+		}
+	})
+}

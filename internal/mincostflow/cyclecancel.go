@@ -1,0 +1,141 @@
+package mincostflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// CycleCanceling computes a minimum-cost flow of exactly target units (or
+// the maximum flow, if smaller) with the classic cycle-canceling method:
+// establish a feasible flow of the desired amount with plain augmenting
+// paths, then repeatedly cancel negative-cost residual cycles found by
+// Bellman-Ford until none remain.
+//
+// The paper's Section III.A picks the successive-shortest-path algorithm as
+// the practical choice for MinCostFlow-GEACC; this solver exists as the
+// ablation baseline for that decision (see BenchmarkFlowSolvers) and as an
+// independent oracle in tests. It mutates g like Solver does; use a fresh
+// graph per run.
+func CycleCanceling(g *Graph, s, t int, target int64) (flow int64, cost float64, err error) {
+	if s < 0 || s >= g.numNodes || t < 0 || t >= g.numNodes || s == t {
+		return 0, 0, fmt.Errorf("mincostflow: invalid terminals s=%d t=%d (n=%d)", s, t, g.numNodes)
+	}
+	flow = establishFlow(g, s, t, target)
+	for {
+		cycle := findNegativeCycle(g)
+		if cycle == nil {
+			break
+		}
+		// Bottleneck along the cycle.
+		bottleneck := int64(math.MaxInt64)
+		for _, a := range cycle {
+			if g.cap[a] < bottleneck {
+				bottleneck = g.cap[a]
+			}
+		}
+		for _, a := range cycle {
+			g.cap[a] -= bottleneck
+			g.cap[int32(a)^1] += bottleneck
+		}
+	}
+	// Recompute the final cost from arc flows.
+	for a := 0; a < len(g.to); a += 2 {
+		cost += float64(g.Flow(ArcID(a))) * g.cost[a]
+	}
+	return flow, cost, nil
+}
+
+// establishFlow pushes up to target units from s to t along BFS augmenting
+// paths, ignoring costs.
+func establishFlow(g *Graph, s, t int, target int64) int64 {
+	var total int64
+	prev := make([]int32, g.numNodes)
+	for total < target {
+		for i := range prev {
+			prev[i] = -1
+		}
+		// BFS over positive-capacity residual arcs.
+		queue := []int{s}
+		prev[s] = -2
+		for len(queue) > 0 && prev[t] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for a := g.head[v]; a >= 0; a = g.next[a] {
+				w := int(g.to[a])
+				if g.cap[a] > 0 && prev[w] == -1 {
+					prev[w] = a
+					queue = append(queue, w)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			break // no augmenting path left
+		}
+		bottleneck := target - total
+		for v := t; v != s; {
+			a := prev[v]
+			if g.cap[a] < bottleneck {
+				bottleneck = g.cap[a]
+			}
+			v = int(g.to[int32(a)^1])
+		}
+		for v := t; v != s; {
+			a := prev[v]
+			g.cap[a] -= bottleneck
+			g.cap[int32(a)^1] += bottleneck
+			v = int(g.to[int32(a)^1])
+		}
+		total += bottleneck
+	}
+	return total
+}
+
+// findNegativeCycle runs Bellman-Ford over the residual graph from a
+// virtual source connected to every node, returning the arcs of one
+// negative-cost cycle, or nil if none exists. A tiny epsilon guards against
+// floating-point noise canceling "cycles" of cost ~0 forever.
+func findNegativeCycle(g *Graph) []int32 {
+	const eps = 1e-12
+	n := g.numNodes
+	dist := make([]float64, n)
+	prevArc := make([]int32, n)
+	for i := range prevArc {
+		prevArc[i] = -1
+	}
+	var cycleNode = -1
+	for iter := 0; iter < n; iter++ {
+		cycleNode = -1
+		for v := 0; v < n; v++ {
+			for a := g.head[v]; a >= 0; a = g.next[a] {
+				if g.cap[a] <= 0 {
+					continue
+				}
+				w := int(g.to[a])
+				if nd := dist[v] + g.cost[a]; nd < dist[w]-eps {
+					dist[w] = nd
+					prevArc[w] = a
+					cycleNode = w
+				}
+			}
+		}
+		if cycleNode == -1 {
+			return nil
+		}
+	}
+	// A relaxation happened on the n-th pass: walk predecessors n times to
+	// land inside the cycle, then collect it.
+	v := cycleNode
+	for i := 0; i < n; i++ {
+		v = int(g.to[int32(prevArc[v])^1])
+	}
+	var cycle []int32
+	for w := v; ; {
+		a := prevArc[w]
+		cycle = append(cycle, a)
+		w = int(g.to[int32(a)^1])
+		if w == v {
+			break
+		}
+	}
+	return cycle
+}

@@ -1,0 +1,161 @@
+package mincostflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCycleCancelingSimple(t *testing.T) {
+	g := NewGraph(4)
+	g.AddArc(0, 1, 1, 5)
+	g.AddArc(1, 3, 1, 0)
+	g.AddArc(0, 2, 1, 1)
+	g.AddArc(2, 3, 1, 0)
+	flow, cost, err := CycleCanceling(g, 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 1 || math.Abs(cost-1) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 1, 1", flow, cost)
+	}
+}
+
+func TestCycleCancelingNeedsCanceling(t *testing.T) {
+	// BFS establishes flow on the expensive path first; a negative residual
+	// cycle then reroutes it.
+	g := NewGraph(4)
+	g.AddArc(0, 1, 1, 10) // expensive
+	g.AddArc(1, 3, 1, 0)
+	g.AddArc(0, 2, 1, 1) // cheap
+	g.AddArc(2, 3, 1, 0)
+	flow, cost, err := CycleCanceling(g, 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 1 || math.Abs(cost-1) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 1, 1", flow, cost)
+	}
+}
+
+func TestCycleCancelingMatchesSSPAProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv, nu := 1+rng.Intn(4), 1+rng.Intn(4)
+		capV := make([]int64, nv)
+		capU := make([]int64, nu)
+		for i := range capV {
+			capV[i] = 1 + int64(rng.Intn(3))
+		}
+		for i := range capU {
+			capU[i] = 1 + int64(rng.Intn(2))
+		}
+		cost := make([][]float64, nv)
+		for v := range cost {
+			cost[v] = make([]float64, nu)
+			for u := range cost[v] {
+				cost[v][u] = math.Round(rng.Float64()*1000) / 1000
+			}
+		}
+		var sumV, sumU int64
+		for _, c := range capV {
+			sumV += c
+		}
+		for _, c := range capU {
+			sumU += c
+		}
+		maxFlow := sumV
+		if sumU < maxFlow {
+			maxFlow = sumU
+		}
+		target := 1 + rng.Int63n(maxFlow)
+
+		gA, s, tt := buildBipartite(nv, nu, capV, capU, cost)
+		sspa := NewSolver(gA, s, tt)
+		flowA, costA := sspa.MinCostFlow(target)
+
+		gB, _, _ := buildBipartite(nv, nu, capV, capU, cost)
+		flowB, costB, err := CycleCanceling(gB, s, tt, target)
+		if err != nil {
+			return false
+		}
+		return flowA == flowB && math.Abs(costA-costB) <= 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleCancelingPartialFlow(t *testing.T) {
+	// Target exceeds the max flow: solver delivers what is possible.
+	g := NewGraph(3)
+	g.AddArc(0, 1, 2, 1)
+	g.AddArc(1, 2, 2, 1)
+	flow, cost, err := CycleCanceling(g, 0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 || math.Abs(cost-4) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v", flow, cost)
+	}
+}
+
+func TestCycleCancelingDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 1, 1)
+	flow, cost, err := CycleCanceling(g, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%v", flow, cost)
+	}
+}
+
+func TestCycleCancelingBadTerminals(t *testing.T) {
+	g := NewGraph(2)
+	if _, _, err := CycleCanceling(g, 0, 0, 1); err == nil {
+		t.Error("s == t accepted")
+	}
+	if _, _, err := CycleCanceling(g, 0, 5, 1); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+}
+
+func BenchmarkFlowSolvers(b *testing.B) {
+	// The §III.A algorithm-choice ablation: SSPA (the paper's pick) versus
+	// cycle canceling on a GEACC-shaped transportation network.
+	rng := rand.New(rand.NewSource(77))
+	const nv, nu = 20, 100
+	capV := make([]int64, nv)
+	capU := make([]int64, nu)
+	for i := range capV {
+		capV[i] = 1 + int64(rng.Intn(10))
+	}
+	for i := range capU {
+		capU[i] = 1 + int64(rng.Intn(3))
+	}
+	cost := make([][]float64, nv)
+	for v := range cost {
+		cost[v] = make([]float64, nu)
+		for u := range cost[v] {
+			cost[v][u] = rng.Float64()
+		}
+	}
+	b.Run("sspa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := buildBipartite(nv, nu, capV, capU, cost)
+			sv := NewSolver(g, s, t)
+			sv.MinCostFlow(50)
+		}
+	})
+	b.Run("cycle-canceling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, t := buildBipartite(nv, nu, capV, capU, cost)
+			if _, _, err := CycleCanceling(g, s, t, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

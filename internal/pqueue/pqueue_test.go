@@ -1,0 +1,254 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedMinHeapBasicOrder(t *testing.T) {
+	h := NewIndexedMinHeap(5)
+	h.Push(0, 3.0)
+	h.Push(1, 1.0)
+	h.Push(2, 2.0)
+	wantKeys := []int{1, 2, 0}
+	wantPrio := []float64{1, 2, 3}
+	for i := range wantKeys {
+		k, p := h.Pop()
+		if k != wantKeys[i] || p != wantPrio[i] {
+			t.Fatalf("pop %d = (%d, %v), want (%d, %v)", i, k, p, wantKeys[i], wantPrio[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestIndexedMinHeapDecreaseKey(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	if k, p := h.Pop(); k != 2 || p != 5 {
+		t.Fatalf("got (%d, %v), want (2, 5)", k, p)
+	}
+	// Raising a priority must be ignored.
+	h.DecreaseKey(1, 99)
+	if k, _ := h.Pop(); k != 0 {
+		t.Fatalf("increase-key was not ignored: popped %d", k)
+	}
+}
+
+func TestIndexedMinHeapPushExistingRelaxes(t *testing.T) {
+	h := NewIndexedMinHeap(3)
+	h.Push(0, 10)
+	h.Push(0, 4) // should relax
+	h.Push(0, 7) // should be ignored
+	if k, p := h.Pop(); k != 0 || p != 4 {
+		t.Fatalf("got (%d, %v), want (0, 4)", k, p)
+	}
+	if h.Len() != 0 {
+		t.Fatal("duplicate push created extra entries")
+	}
+}
+
+func TestIndexedMinHeapContainsAndReset(t *testing.T) {
+	h := NewIndexedMinHeap(3)
+	h.Push(1, 1)
+	if !h.Contains(1) || h.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	h.Reset()
+	if h.Len() != 0 || h.Contains(1) {
+		t.Fatal("Reset did not clear heap")
+	}
+	// Heap must be reusable after Reset.
+	h.Push(2, 9)
+	if k, _ := h.Pop(); k != 2 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestIndexedMinHeapPopEmptyPanics(t *testing.T) {
+	h := NewIndexedMinHeap(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty Pop")
+		}
+	}()
+	h.Pop()
+}
+
+func TestIndexedMinHeapSortsRandomInput(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := NewIndexedMinHeap(n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = rng.Float64()
+			h.Push(i, want[i])
+		}
+		sort.Float64s(want)
+		for i := 0; i < n; i++ {
+			_, p := h.Pop()
+			if p != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexedMinHeapDijkstraPattern(t *testing.T) {
+	// Simulate the relax-heavy access pattern of Dijkstra: repeated pushes
+	// of the same keys with decreasing priorities, interleaved with pops.
+	rng := rand.New(rand.NewSource(99))
+	const n = 100
+	h := NewIndexedMinHeap(n)
+	best := make([]float64, n)
+	inHeap := make([]bool, n)
+	for i := range best {
+		best[i] = 1e18
+	}
+	for step := 0; step < 5000; step++ {
+		k := rng.Intn(n)
+		p := rng.Float64()
+		if p < best[k] {
+			best[k] = p
+		}
+		h.Push(k, p)
+		inHeap[k] = true
+		if step%7 == 0 && h.Len() > 0 {
+			key, prio := h.Pop()
+			if prio != best[key] {
+				t.Fatalf("popped priority %v != best known %v for key %d", prio, best[key], key)
+			}
+			best[key] = 1e18
+			inHeap[key] = false
+		}
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		_, p := h.Pop()
+		if p < prev {
+			t.Fatalf("pop order not sorted: %v after %v", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPairHeapOrderAndTieBreak(t *testing.T) {
+	h := NewPairHeap(10)
+	h.Push(Pair{V: 1, U: 2, Sim: 0.5})
+	h.Push(Pair{V: 0, U: 3, Sim: 0.9})
+	h.Push(Pair{V: 2, U: 1, Sim: 0.5})
+	h.Push(Pair{V: 1, U: 0, Sim: 0.5})
+
+	want := []Pair{
+		{0, 3, 0.9},
+		{1, 0, 0.5},
+		{1, 2, 0.5},
+		{2, 1, 0.5},
+	}
+	for i, w := range want {
+		got := h.Pop()
+		if got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestPairHeapDeduplicates(t *testing.T) {
+	h := NewPairHeap(5)
+	if !h.Push(Pair{V: 1, U: 1, Sim: 0.7}) {
+		t.Fatal("first push rejected")
+	}
+	if h.Push(Pair{V: 1, U: 1, Sim: 0.7}) {
+		t.Fatal("duplicate push accepted")
+	}
+	got := h.Pop()
+	if got.V != 1 || got.U != 1 {
+		t.Fatalf("unexpected pair %+v", got)
+	}
+	// A visited (popped) pair must not be pushable again.
+	if h.Push(Pair{V: 1, U: 1, Sim: 0.7}) {
+		t.Fatal("visited pair re-entered heap")
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap should be empty")
+	}
+}
+
+func TestPairHeapContains(t *testing.T) {
+	h := NewPairHeap(4)
+	h.Push(Pair{V: 2, U: 3, Sim: 0.1})
+	if !h.Contains(2, 3) {
+		t.Error("Contains missed pushed pair")
+	}
+	if h.Contains(3, 2) {
+		t.Error("Contains confused (v,u) with (u,v)")
+	}
+	h.Pop()
+	if !h.Contains(2, 3) {
+		t.Error("Contains must keep reporting visited pairs")
+	}
+}
+
+func TestPairHeapPeek(t *testing.T) {
+	h := NewPairHeap(4)
+	h.Push(Pair{V: 0, U: 0, Sim: 0.2})
+	h.Push(Pair{V: 0, U: 1, Sim: 0.8})
+	if got := h.Peek(); got.Sim != 0.8 {
+		t.Fatalf("Peek = %+v", got)
+	}
+	if h.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestPairHeapSortedDrainProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv, nu := 1+rng.Intn(20), 1+rng.Intn(20)
+		h := NewPairHeap(nu)
+		pushed := 0
+		for i := 0; i < 100; i++ {
+			ok := h.Push(Pair{V: rng.Intn(nv), U: rng.Intn(nu), Sim: rng.Float64()})
+			if ok {
+				pushed++
+			}
+		}
+		prev := 2.0
+		popped := 0
+		for h.Len() > 0 {
+			p := h.Pop()
+			if p.Sim > prev {
+				return false
+			}
+			prev = p.Sim
+			popped++
+		}
+		return popped == pushed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexedMinHeapPriority(t *testing.T) {
+	h := NewIndexedMinHeap(3)
+	h.Push(1, 4.5)
+	if got := h.Priority(1); got != 4.5 {
+		t.Fatalf("Priority = %v", got)
+	}
+	h.DecreaseKey(1, 2.5)
+	if got := h.Priority(1); got != 2.5 {
+		t.Fatalf("Priority after decrease = %v", got)
+	}
+}

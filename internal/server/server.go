@@ -1,0 +1,261 @@
+// Package server exposes the GEACC solvers as a small JSON-over-HTTP
+// service — the shape in which an EBSN platform would actually consume this
+// library. Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	GET  /algorithms         available solver names
+//	POST /solve?algo=&seed=  instance JSON -> matching JSON (+ metrics)
+//	POST /trace              instance JSON -> greedy matching + decision log
+//	POST /report             {"instance":..., "matching":...} -> quality report
+//	POST /validate           {"instance":..., "matching":...} -> feasibility verdict
+//
+// Handlers are plain http.Handlers built on the standard library, with
+// bounded request bodies and JSON error envelopes.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/report"
+)
+
+// MaxRequestBytes bounds request bodies; larger instances should use the
+// CLI tools.
+const MaxRequestBytes = 64 << 20
+
+// New returns the service's handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /algorithms", handleAlgorithms)
+	mux.HandleFunc("POST /solve", handleSolve)
+	mux.HandleFunc("POST /trace", handleTrace)
+	mux.HandleFunc("POST /report", handleReport)
+	mux.HandleFunc("POST /validate", handleValidate)
+	return mux
+}
+
+// errorJSON is the error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"algorithms": append(core.SolverNames(), "portfolio"),
+	})
+}
+
+// SolveResponse is the /solve payload.
+type SolveResponse struct {
+	Matching encoding.MatchingJSON `json:"matching"`
+	Algo     string                `json:"algo"`
+	Seconds  float64               `json:"seconds"`
+	Events   int                   `json:"events"`
+	Users    int                   `json:"users"`
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "greedy"
+	}
+	var seed int64 = 1
+	if s := r.URL.Query().Get("seed"); s != "" {
+		seed, err = strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
+			return
+		}
+	}
+
+	start := time.Now()
+	var m *core.Matching
+	if algo == "portfolio" {
+		m, _, err = core.Portfolio(in,
+			[]string{"greedy", "mincostflow", "random-v", "random-u"}, seed)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		solve, lerr := core.LookupSolver(algo)
+		if lerr != nil {
+			writeError(w, http.StatusBadRequest, lerr)
+			return
+		}
+		if algo == "exact" && int64(in.NumEvents())*int64(in.NumUsers()) > 200 {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
+			return
+		}
+		m = solve(in, rand.New(rand.NewSource(seed)))
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := core.Validate(in, m); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	var buf bytes.Buffer
+	if err := encoding.EncodeMatching(&buf, m); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var mj encoding.MatchingJSON
+	if err := json.Unmarshal(buf.Bytes(), &mj); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, SolveResponse{
+		Matching: mj,
+		Algo:     algo,
+		Seconds:  elapsed,
+		Events:   in.NumEvents(),
+		Users:    in.NumUsers(),
+	})
+}
+
+// TraceResponse is the /trace payload: the greedy arrangement plus every
+// heap-pop decision in order (the paper's Example 3 narrative, as data).
+type TraceResponse struct {
+	Matching encoding.MatchingJSON `json:"matching"`
+	Steps    []TraceStepJSON       `json:"steps"`
+}
+
+// TraceStepJSON is one serialized greedy decision.
+type TraceStepJSON struct {
+	V        int     `json:"v"`
+	U        int     `json:"u"`
+	Sim      float64 `json:"sim"`
+	Accepted bool    `json:"accepted"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var steps []TraceStepJSON
+	m := core.GreedyOpts(in, core.GreedyOptions{Trace: func(s core.TraceStep) {
+		steps = append(steps, TraceStepJSON{
+			V: s.V, U: s.U, Sim: s.Sim, Accepted: s.Accepted, Reason: s.Reason,
+		})
+	}})
+	if err := core.Validate(in, m); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := encoding.EncodeMatching(&buf, m); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var mj encoding.MatchingJSON
+	if err := json.Unmarshal(buf.Bytes(), &mj); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if steps == nil {
+		steps = []TraceStepJSON{}
+	}
+	writeJSON(w, TraceResponse{Matching: mj, Steps: steps})
+}
+
+// pairDoc is the {"instance":..., "matching":...} request body shared by
+// /report and /validate.
+type pairDoc struct {
+	Instance json.RawMessage       `json:"instance"`
+	Matching encoding.MatchingJSON `json:"matching"`
+}
+
+func decodePair(w http.ResponseWriter, r *http.Request) (*core.Instance, *core.Matching, bool) {
+	var doc pairDoc
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+		return nil, nil, false
+	}
+	in, err := encoding.DecodeInstance(bytes.NewReader(doc.Instance))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	m := core.NewMatching()
+	for _, p := range doc.Matching.Pairs {
+		if m.Contains(p.V, p.U) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: duplicate pair (%d, %d)", p.V, p.U))
+			return nil, nil, false
+		}
+		m.Add(p.V, p.U, p.Sim)
+	}
+	return in, m, true
+}
+
+func handleReport(w http.ResponseWriter, r *http.Request) {
+	in, m, ok := decodePair(w, r)
+	if !ok {
+		return
+	}
+	skipBound := r.URL.Query().Get("bound") == "false"
+	rep, err := report.Build(in, m, skipBound)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// ValidateResponse is the /validate payload.
+type ValidateResponse struct {
+	Feasible bool    `json:"feasible"`
+	Reason   string  `json:"reason,omitempty"`
+	MaxSum   float64 `json:"max_sum"`
+	Pairs    int     `json:"pairs"`
+}
+
+func handleValidate(w http.ResponseWriter, r *http.Request) {
+	in, m, ok := decodePair(w, r)
+	if !ok {
+		return
+	}
+	resp := ValidateResponse{Feasible: true, MaxSum: m.MaxSum(), Pairs: m.Size()}
+	if err := core.Validate(in, m); err != nil {
+		resp.Feasible = false
+		resp.Reason = err.Error()
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanKnownValues(t *testing.T) {
+	f := Euclidean(2, 10)
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{0, 0}, Vector{0, 0}, 1},
+		{Vector{0, 0}, Vector{10, 10}, 0},
+		{Vector{3, 4}, Vector{3, 4}, 1},
+		{Vector{0, 0}, Vector{10, 0}, 1 - 10/math.Sqrt(200)},
+	}
+	for _, c := range cases {
+		got := f(c.a, c.b)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Euclidean(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEuclideanRange(t *testing.T) {
+	const d, maxT = 5, 100.0
+	f := Euclidean(d, maxT)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := randVec(rng, d, maxT), randVec(rng, d, maxT)
+		s := f(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity %v out of [0,1] for %v, %v", s, a, b)
+		}
+	}
+}
+
+func TestEuclideanSymmetry(t *testing.T) {
+	const d, maxT = 4, 50.0
+	f := Euclidean(d, maxT)
+	rng := rand.New(rand.NewSource(2))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r, d, maxT), randVec(r, d, maxT)
+		return f(a, b) == f(b, a)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanIdentity(t *testing.T) {
+	f := Euclidean(3, 10)
+	v := Vector{1, 2, 3}
+	if got := f(v, v); got != 1 {
+		t.Errorf("self-similarity = %v, want 1", got)
+	}
+}
+
+func TestEuclideanMonotoneInDistance(t *testing.T) {
+	f := Euclidean(1, 10)
+	origin := Vector{0}
+	prev := 2.0
+	for x := 0.0; x <= 10; x++ {
+		s := f(origin, Vector{x})
+		if s >= prev {
+			t.Fatalf("similarity not strictly decreasing at x=%v: %v >= %v", x, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEuclideanPanicsOnBadParams(t *testing.T) {
+	assertPanics(t, func() { Euclidean(0, 10) })
+	assertPanics(t, func() { Euclidean(3, 0) })
+	assertPanics(t, func() { Manhattan(0, 10) })
+	assertPanics(t, func() { Manhattan(3, -1) })
+}
+
+func TestDistanceDimensionMismatchPanics(t *testing.T) {
+	assertPanics(t, func() { Distance(Vector{1}, Vector{1, 2}) })
+	assertPanics(t, func() { Cosine()(Vector{1}, Vector{1, 2}) })
+	assertPanics(t, func() { Manhattan(2, 1)(Vector{1}, Vector{1, 2}) })
+}
+
+func TestCosine(t *testing.T) {
+	f := Cosine()
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{1, 0}, Vector{0, 1}, 0},
+		{Vector{1, 0}, Vector{1, 0}, 1},
+		{Vector{1, 1}, Vector{2, 2}, 1},
+		{Vector{0, 0}, Vector{1, 1}, 0},
+		{Vector{0, 0}, Vector{0, 0}, 0},
+		{Vector{1, 0}, Vector{1, 1}, 1 / math.Sqrt2},
+	}
+	for _, c := range cases {
+		got := f(c.a, c.b)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Cosine(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	f := Manhattan(2, 10)
+	if got := f(Vector{0, 0}, Vector{10, 10}); got != 0 {
+		t.Errorf("max-distance similarity = %v, want 0", got)
+	}
+	if got := f(Vector{3, 7}, Vector{3, 7}); got != 1 {
+		t.Errorf("self-similarity = %v, want 1", got)
+	}
+	if got, want := f(Vector{0, 0}, Vector{5, 5}), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("half-distance similarity = %v, want %v", got, want)
+	}
+}
+
+func TestAllFuncsInUnitRangeProperty(t *testing.T) {
+	const d, maxT = 6, 1000.0
+	funcs := map[string]Func{
+		"euclidean": Euclidean(d, maxT),
+		"cosine":    Cosine(),
+		"manhattan": Manhattan(d, maxT),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for name, f := range funcs {
+		for i := 0; i < 500; i++ {
+			a, b := randVec(rng, d, maxT), randVec(rng, d, maxT)
+			s := f(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s(%v, %v) = %v out of range", name, a, b, s)
+			}
+			if f(a, b) != f(b, a) {
+				t.Fatalf("%s not symmetric on %v, %v", name, a, b)
+			}
+		}
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares backing array with original")
+	}
+	if Vector(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	if err := (Vector{0, 5, 10}).Validate(10); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	for _, bad := range []Vector{
+		{-1, 0},
+		{0, 11},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		if err := bad.Validate(10); err == nil {
+			t.Errorf("Validate accepted invalid vector %v", bad)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, d int, maxT float64) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = rng.Float64() * maxT
+	}
+	return v
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,80 @@
+package geacc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolvePortfolioPicksBest(t *testing.T) {
+	p := table1Problem(t)
+	m, err := p.SolvePortfolio(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy's 4.28 is the best of the racers on TABLE I.
+	if math.Abs(m.MaxSum()-4.28) > 1e-9 {
+		t.Fatalf("portfolio = %v, want 4.28", m.MaxSum())
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveNeverWorse(t *testing.T) {
+	p := table1Problem(t)
+	start, err := p.SolveOpts(RandomV, SolveOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := p.Improve(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.MaxSum() < start.MaxSum() {
+		t.Fatalf("improve regressed: %v -> %v", start.MaxSum(), improved.MaxSum())
+	}
+	if err := p.Validate(improved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBudgeted(t *testing.T) {
+	p := table1Problem(t)
+	prices := []float64{10, 10, 10}
+	budgets := []float64{10, 10, 10, 10, 10}
+	m, err := p.SolveBudgeted(prices, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < p.NumUsers(); u++ {
+		var spend float64
+		for _, pair := range m.Pairs() {
+			if pair.U == u {
+				spend += prices[pair.V]
+			}
+		}
+		if spend > budgets[u]+1e-9 {
+			t.Fatalf("user %d overspends: %v", u, spend)
+		}
+	}
+	if _, err := p.SolveBudgeted([]float64{1}, budgets); err == nil {
+		t.Fatal("mismatched prices accepted")
+	}
+}
+
+func TestTraceWalkthrough(t *testing.T) {
+	p := table1Problem(t)
+	m, steps := p.Trace()
+	if math.Abs(m.MaxSum()-4.28) > 1e-9 {
+		t.Fatalf("traced solve = %v", m.MaxSum())
+	}
+	if len(steps) < 3 {
+		t.Fatalf("only %d steps", len(steps))
+	}
+	if steps[0].V != 0 || steps[0].U != 0 || !steps[0].Accepted {
+		t.Fatalf("step 1 = %+v", steps[0])
+	}
+	if steps[1].Reason != "conflict" {
+		t.Fatalf("step 2 = %+v, want the Example 3 conflict rejection", steps[1])
+	}
+}
