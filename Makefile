@@ -1,0 +1,53 @@
+# GEACC — conflict-aware event-participant arrangement.
+# `make help` lists targets.
+
+GO        ?= go
+PKGS      := ./...
+# Packages whose concurrency is exercised hardest; `make race` runs them
+# under the race detector (the full suite under -race is `make race-all`).
+RACE_PKGS := ./internal/obs ./internal/server ./internal/core
+BENCH     ?= .
+BENCH_FLAGS := -benchmem -benchtime=1x
+
+.PHONY: build test race race-all vet bench cover clean run-server help
+
+## build: compile every package and the command-line tools
+build:
+	$(GO) build $(PKGS)
+
+## test: run the full test suite (tier-1 gate, with go vet's default checks)
+test:
+	$(GO) test $(PKGS)
+
+## race: race-detector pass over the concurrency-heavy packages
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## race-all: the full suite under the race detector (slow)
+race-all:
+	$(GO) test -race $(PKGS)
+
+## vet: static analysis; must stay clean
+vet:
+	$(GO) vet $(PKGS)
+
+## bench: run benchmarks once through (BENCH=<regexp> to filter)
+bench:
+	$(GO) test -run=^$$ -bench=$(BENCH) $(BENCH_FLAGS) $(PKGS)
+
+## cover: full suite with a coverage summary
+cover:
+	$(GO) test -cover $(PKGS)
+
+## run-server: start geacc-server with the diagnostics listener on :6060
+run-server:
+	$(GO) run ./cmd/geacc-server -addr :8080 -debug-addr 127.0.0.1:6060
+
+## clean: drop build artifacts and cached test results
+clean:
+	$(GO) clean $(PKGS)
+	rm -f geacc-server geacc-solve geacc-gen geacc-bench
+
+## help: list targets
+help:
+	@grep -E '^## ' $(MAKEFILE_LIST) | sed 's/^## /  /'

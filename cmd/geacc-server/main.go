@@ -2,13 +2,20 @@
 //
 // Usage:
 //
-//	geacc-server -addr :8080
+//	geacc-server -addr :8080 [-debug-addr :6060]
 //
 //	curl localhost:8080/algorithms
 //	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy'
 //	curl -XPOST --data-binary @session.json localhost:8080/validate
+//	curl localhost:8080/debug/vars          # metrics (expvar, always on)
+//	curl localhost:6060/debug/pprof/        # profiles (only with -debug-addr)
 //
-// See internal/server for the endpoint contract.
+// The main listener always serves the solver endpoints plus the expvar
+// metrics page at /debug/vars. Passing -debug-addr starts a second,
+// diagnostics-only listener with expvar and net/http/pprof — keep it bound
+// to localhost or an internal interface; profiling endpoints are not meant
+// for public traffic. See internal/server for the endpoint contract and
+// docs/OBSERVABILITY.md for the metric catalog and example sessions.
 package main
 
 import (
@@ -23,7 +30,23 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "",
+		"optional diagnostics listen address (expvar + pprof); empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Printf("geacc-server debug listener (expvar + pprof) on %s\n", *debugAddr)
+			// A failed debug listener must not take the traffic port down
+			// with it; log and keep serving.
+			log.Printf("debug listener exited: %v", dbg.ListenAndServe())
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

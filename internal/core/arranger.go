@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ebsnlab/geacc/internal/conflict"
 	"github.com/ebsnlab/geacc/internal/sim"
@@ -80,6 +81,7 @@ func (a *Arranger) conflictsWithMatched(v, u int) bool {
 // events, and greedily recruits the most interested users with spare
 // capacity. It returns the event's id.
 func (a *Arranger) AddEvent(e Event, conflictsWith []int) (int, error) {
+	defer observeArrangerOp("add_event", time.Now())
 	if e.Cap < 0 {
 		return 0, fmt.Errorf("core: negative event capacity %d", e.Cap)
 	}
@@ -108,6 +110,7 @@ func (a *Arranger) AddEvent(e Event, conflictsWith []int) (int, error) {
 // AddUser registers a new user and greedily arranges them into their most
 // interesting feasible events. It returns the user's id.
 func (a *Arranger) AddUser(u User) (int, error) {
+	defer observeArrangerOp("add_user", time.Now())
 	if u.Cap < 0 {
 		return 0, fmt.Errorf("core: negative user capacity %d", u.Cap)
 	}
@@ -122,6 +125,7 @@ func (a *Arranger) AddUser(u User) (int, error) {
 // released (freeing event seats) and the affected events greedily recruit
 // replacements. Removing twice is a no-op.
 func (a *Arranger) RemoveUser(u int) error {
+	defer observeArrangerOp("remove_user", time.Now())
 	if u < 0 || u >= len(a.users) {
 		return fmt.Errorf("core: unknown user %d", u)
 	}
@@ -146,6 +150,7 @@ func (a *Arranger) RemoveUser(u int) error {
 // CancelEvent removes an event: its assignments are released and every
 // affected user is greedily re-placed. Cancelling twice is a no-op.
 func (a *Arranger) CancelEvent(v int) error {
+	defer observeArrangerOp("cancel_event", time.Now())
 	if v < 0 || v >= len(a.events) {
 		return fmt.Errorf("core: unknown event %d", v)
 	}
@@ -264,6 +269,7 @@ func (a *Arranger) Snapshot() (*Instance, *Matching, error) {
 // adopts the result if it improves MaxSum. It returns the improvement
 // (0 when the incremental arrangement was already at least as good).
 func (a *Arranger) Rebalance() (float64, error) {
+	defer observeArrangerOp("rebalance", time.Now())
 	in, _, err := a.Snapshot()
 	if err != nil {
 		return 0, err

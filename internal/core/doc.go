@@ -44,4 +44,18 @@
 // per-user MWIS conflict resolution for MinCostFlow (FlowOptions), and a
 // tightened admissible pruning bound for Exact (ExactOptions). Every
 // matching any of these produce passes Validate.
+//
+// # Cancellation and observability
+//
+// SolveContext is the context-aware entry point over the registry: it
+// honors cancellation in the solvers that can run long (mincostflow
+// between augmenting paths, exact between node expansions, greedy between
+// heap pops — see also GreedyCtx, MinCostFlowCtx, ExactOptions.Ctx, and
+// PortfolioCtx), records the per-algorithm solve metrics, and emits trace
+// spans into a recorder attached to the context with
+// obs.ContextWithRecorder. The algorithms additionally publish their
+// internal work counts (greedy heap pops, flow augmentations, search-node
+// expansions and prunes, local-search moves, arranger operation
+// latencies) into the global internal/obs registry regardless of entry
+// point; docs/OBSERVABILITY.md is the full metric catalog.
 package core

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 )
@@ -48,6 +49,10 @@ type ExactOptions struct {
 	// limit trips, ErrNodeLimit is returned along with the best matching
 	// found so far (no longer guaranteed optimal).
 	NodeLimit int64
+	// Ctx, when non-nil, cancels the search: it is checked on entry and
+	// then every exactCtxStride node expansions. A canceled search returns
+	// ctx's error (and, like every non-ErrNodeLimit error, a nil matching).
+	Ctx context.Context
 	// TightBound replaces the paper's per-event potential s_v·c_v (the 1-NN
 	// similarity times the full capacity) with the sum of the event's c_v
 	// largest similarities — still an upper bound on the event's possible
@@ -60,6 +65,10 @@ type ExactOptions struct {
 	TightBound bool
 }
 
+// exactCtxStride is how many Search invocations run between cancellation
+// polls of ExactOptions.Ctx.
+const exactCtxStride = 4096
+
 // Exact runs Prune-GEACC (Algorithms 3 and 4 of the paper): branch-and-bound
 // over the match/unmatch state of every pair, in the order of events sorted
 // by s_v·c_v and, within an event, users by non-increasing similarity. The
@@ -71,7 +80,13 @@ func Exact(in *Instance) (*Matching, SearchStats, error) {
 
 // ExactOpts runs the exact search with explicit options.
 func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
+	exactRuns.Inc()
 	nv, nu := in.NumEvents(), in.NumUsers()
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, SearchStats{MaxDepth: nv * nu}, err
+		}
+	}
 	st := &searchState{
 		in:    in,
 		opt:   opt,
@@ -159,6 +174,9 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 	}
 
 	err := st.search(0, 1)
+	exactNodes.Add(st.stats.Invocations)
+	exactPrunes.Add(st.stats.Prunes)
+	exactComplete.Add(st.stats.CompleteSearches)
 	if err != nil && !errors.Is(err, ErrNodeLimit) {
 		return nil, st.stats, err
 	}
@@ -198,6 +216,11 @@ func (st *searchState) search(vIdx, uRank int) error {
 	st.stats.Invocations++
 	if st.opt.NodeLimit > 0 && st.stats.Invocations > st.opt.NodeLimit {
 		return ErrNodeLimit
+	}
+	if st.opt.Ctx != nil && st.stats.Invocations%exactCtxStride == 0 {
+		if err := st.opt.Ctx.Err(); err != nil {
+			return err
+		}
 	}
 	v := st.order[vIdx]
 	u := st.nn[v][uRank-1]

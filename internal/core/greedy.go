@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/ebsnlab/geacc/internal/knn"
 	"github.com/ebsnlab/geacc/internal/pqueue"
 )
@@ -23,7 +25,17 @@ type GreedyOptions struct {
 	// because the algorithm prunes failing pairs permanently. Budgeted
 	// arrangements (BudgetedGreedy) are built on this hook.
 	Feasible func(v, u int) bool
+	// Ctx, when non-nil, is polled every greedyCtxStride heap pops; on
+	// cancellation the run stops early and returns the partial matching
+	// built so far. Callers that need cancellation surfaced as an error
+	// should use GreedyCtx, which discards the partial result.
+	Ctx context.Context
 }
+
+// greedyCtxStride is how many heap pops Greedy processes between
+// cancellation polls — frequent enough to abandon a multi-second run
+// promptly, rare enough to keep the poll off the per-pop profile.
+const greedyCtxStride = 1024
 
 // TraceStep records one popped pair and the algorithm's decision on it.
 type TraceStep struct {
@@ -44,8 +56,21 @@ func Greedy(in *Instance) *Matching {
 	return GreedyOpts(in, GreedyOptions{})
 }
 
+// GreedyCtx runs Greedy-GEACC under a context: on cancellation the run
+// aborts at the next poll (every greedyCtxStride heap pops) and returns
+// ctx's error with a nil matching.
+func GreedyCtx(ctx context.Context, in *Instance, opt GreedyOptions) (*Matching, error) {
+	opt.Ctx = ctx
+	m := GreedyOpts(in, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // GreedyOpts runs Greedy-GEACC with explicit options.
 func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
+	greedyRuns.Inc()
 	nv, nu := in.NumEvents(), in.NumUsers()
 	m := NewMatching()
 	if nv == 0 || nu == 0 {
@@ -137,13 +162,19 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 
 	// Iteration (lines 11-23): pop the most similar pair, add it when
 	// feasible, then let both endpoints contribute their next candidates.
+	var pops, accepted int64
 	for h.Len() > 0 {
+		if opt.Ctx != nil && pops%greedyCtxStride == 0 && opt.Ctx.Err() != nil {
+			break
+		}
+		pops++
 		p := h.Pop()
 		ok := capV[p.V] > 0 && capU[p.U] > 0 && !blocked(p.V, p.U)
 		if ok {
 			m.Add(p.V, p.U, p.Sim)
 			capV[p.V]--
 			capU[p.U]--
+			accepted++
 		}
 		if opt.Trace != nil {
 			step := TraceStep{V: p.V, U: p.U, Sim: p.Sim, Accepted: ok}
@@ -162,5 +193,8 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 		advanceEvent(p.V)
 		advanceUser(p.U)
 	}
+	greedyPops.Add(pops)
+	greedyAccepted.Add(accepted)
+	greedyRejected.Add(pops - accepted)
 	return m
 }

@@ -38,6 +38,7 @@ type LocalSearchStats struct {
 // result is maximal but 1-exchange moves can still reshuffle capacity to
 // higher-value pairs (see BenchmarkLocalSearch for measured gains).
 func LocalSearch(in *Instance, start *Matching, opt LocalSearchOptions) (*Matching, LocalSearchStats, error) {
+	localSearchRuns.Inc()
 	if err := Validate(in, start); err != nil {
 		return nil, LocalSearchStats{}, fmt.Errorf("core: local search needs a feasible start: %w", err)
 	}
@@ -185,6 +186,8 @@ func LocalSearch(in *Instance, start *Matching, opt LocalSearchOptions) (*Matchi
 		}
 	}
 	stats.Gain = m.MaxSum() - before
+	localSearchRounds.Add(int64(stats.Rounds))
+	observeLocalSearchMoves(stats)
 	if err := Validate(in, m); err != nil {
 		return nil, stats, fmt.Errorf("core: local search broke feasibility: %w", err)
 	}

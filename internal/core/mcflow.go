@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"github.com/ebsnlab/geacc/internal/mincostflow"
+	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 // FlowResult carries the output of MinCostFlow-GEACC plus diagnostics used
@@ -51,29 +53,57 @@ func MinCostFlow(in *Instance) *FlowResult {
 
 // MinCostFlowOpts runs MinCostFlow-GEACC with explicit options.
 func MinCostFlowOpts(in *Instance, opt FlowOptions) *FlowResult {
-	res := relaxedOptimum(in)
+	res, _ := minCostFlowCtx(context.Background(), in, opt)
+	return res
+}
+
+// MinCostFlowCtx runs MinCostFlow-GEACC under a context. Cancellation is
+// polled between successive augmenting paths — the unit of work of the
+// Δ-sweep, and the only place the algorithm spends superlinear time — so a
+// disconnected client stops a long run within one Dijkstra pass. A
+// canceled run returns ctx's error and a nil result.
+func MinCostFlowCtx(ctx context.Context, in *Instance, opt FlowOptions) (*FlowResult, error) {
+	res, err := minCostFlowCtx(ctx, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func minCostFlowCtx(ctx context.Context, in *Instance, opt FlowOptions) (*FlowResult, error) {
+	sp := obs.RecorderFrom(ctx).Start("mincostflow/relax")
+	res, err := relaxedOptimumCtx(ctx, in)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = obs.RecorderFrom(ctx).Start("mincostflow/resolve")
 	if opt.ExactResolution {
 		res.Matching = resolveConflictsExact(in, res.Relaxed)
 	} else {
 		res.Matching = resolveConflicts(in, res.Relaxed)
 	}
-	return res
+	sp.End()
+	return res, nil
 }
 
 // RelaxedUpperBound returns MaxSum(M∅), the optimum of the conflict-free
 // relaxation, which upper-bounds the conflict-constrained optimum
 // (Corollary 1). Tests use it to sandwich algorithm results.
 func RelaxedUpperBound(in *Instance) float64 {
-	return relaxedOptimum(in).RelaxedMaxSum
+	res, _ := relaxedOptimumCtx(context.Background(), in)
+	return res.RelaxedMaxSum
 }
 
-// relaxedOptimum solves the GEACC instance with CF = ∅ exactly (Lemma 1)
-// via the minimum-cost-flow reduction of Section III.A.
-func relaxedOptimum(in *Instance) *FlowResult {
+// relaxedOptimumCtx solves the GEACC instance with CF = ∅ exactly
+// (Lemma 1) via the minimum-cost-flow reduction of Section III.A, polling
+// ctx between augmentations.
+func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
+	mcflowRuns.Inc()
 	nv, nu := in.NumEvents(), in.NumUsers()
 	res := &FlowResult{Relaxed: NewMatching()}
 	if nv == 0 || nu == 0 {
-		return res
+		return res, nil
 	}
 
 	// Node layout: source, events, users, sink.
@@ -102,13 +132,23 @@ func relaxedOptimum(in *Instance) *FlowResult {
 
 	sv := mincostflow.NewSolver(g, s, t)
 	// Augment while a unit of flow still increases MaxSum = Δ − cost, i.e.
-	// while the next path's per-unit cost is below 1.
+	// while the next path's per-unit cost is below 1. Each iteration is one
+	// Dijkstra pass, so polling ctx here bounds the cancellation latency by
+	// a single shortest-path computation.
+	var augmentations int64
 	for {
+		if err := ctx.Err(); err != nil {
+			mcflowAugmentations.Add(augmentations)
+			return nil, err
+		}
 		if _, _, ok := sv.AugmentBelow(math.MaxInt64, 1); !ok {
 			break
 		}
+		augmentations++
 	}
+	mcflowAugmentations.Add(augmentations)
 	res.Delta = sv.TotalFlow()
+	mcflowDeltaUnits.Add(res.Delta)
 
 	for v := 0; v < nv; v++ {
 		for u := 0; u < nu; u++ {
@@ -121,7 +161,7 @@ func relaxedOptimum(in *Instance) *FlowResult {
 		}
 	}
 	res.RelaxedMaxSum = res.Relaxed.MaxSum()
-	return res
+	return res, nil
 }
 
 // resolveConflictsExact replaces the greedy selection with an exact

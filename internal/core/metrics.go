@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// The package's metric instruments, registered once against the global
+// obs registry. Per-run work counts are accumulated locally inside each
+// algorithm and flushed with a single Add at the end of the run, so the
+// hot loops never touch an atomic per iteration. The full catalog, with
+// semantics, lives in docs/OBSERVABILITY.md.
+var (
+	greedyRuns     = obs.Default().Counter("geacc_greedy_runs_total")
+	greedyPops     = obs.Default().Counter("geacc_greedy_pops_total")
+	greedyAccepted = obs.Default().Counter("geacc_greedy_accepted_total")
+	greedyRejected = obs.Default().Counter("geacc_greedy_rejected_total")
+
+	mcflowRuns          = obs.Default().Counter("geacc_mcflow_runs_total")
+	mcflowAugmentations = obs.Default().Counter("geacc_mcflow_augmentations_total")
+	mcflowDeltaUnits    = obs.Default().Counter("geacc_mcflow_delta_units_total")
+
+	exactRuns     = obs.Default().Counter("geacc_exact_runs_total")
+	exactNodes    = obs.Default().Counter("geacc_exact_nodes_total")
+	exactPrunes   = obs.Default().Counter("geacc_exact_prunes_total")
+	exactComplete = obs.Default().Counter("geacc_exact_complete_total")
+
+	localSearchRuns   = obs.Default().Counter("geacc_localsearch_runs_total")
+	localSearchRounds = obs.Default().Counter("geacc_localsearch_rounds_total")
+
+	portfolioRuns     = obs.Default().Counter("geacc_portfolio_runs_total")
+	portfolioFailures = obs.Default().Counter("geacc_portfolio_failures_total")
+)
+
+// observeSolve records one SolveContext outcome under the per-algorithm
+// solve metrics.
+func observeSolve(algo string, elapsed time.Duration, err error) {
+	reg := obs.Default()
+	reg.Counter(obs.Label("geacc_solve_total", "algo", algo)).Inc()
+	if err != nil {
+		reg.Counter(obs.Label("geacc_solve_errors_total", "algo", algo)).Inc()
+		return
+	}
+	reg.Histogram(obs.Label("geacc_solve_seconds", "algo", algo),
+		obs.DefaultLatencyBuckets).Observe(elapsed.Seconds())
+}
+
+// observeLocalSearchMoves flushes one LocalSearch run's move counts.
+func observeLocalSearchMoves(stats LocalSearchStats) {
+	reg := obs.Default()
+	reg.Counter(obs.Label("geacc_localsearch_moves_total", "kind", "add")).Add(int64(stats.Additions))
+	reg.Counter(obs.Label("geacc_localsearch_moves_total", "kind", "replace")).Add(int64(stats.Replacements))
+	reg.Counter(obs.Label("geacc_localsearch_moves_total", "kind", "swap")).Add(int64(stats.Swaps))
+}
+
+// observePortfolioWin credits the solver whose matching won a portfolio run.
+func observePortfolioWin(algo string) {
+	obs.Default().Counter(obs.Label("geacc_portfolio_wins_total", "algo", algo)).Inc()
+}
+
+// observeArrangerOp records one dynamic-arranger operation and its latency;
+// used as `defer observeArrangerOp("add_event", time.Now())`.
+func observeArrangerOp(op string, start time.Time) {
+	reg := obs.Default()
+	reg.Counter(obs.Label("geacc_arranger_ops_total", "op", op)).Inc()
+	reg.Histogram(obs.Label("geacc_arranger_op_seconds", "op", op),
+		obs.DefaultLatencyBuckets).Observe(time.Since(start).Seconds())
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -21,17 +22,25 @@ type PortfolioResult struct {
 // meta-solver. Solvers must not mutate the instance (none in this package
 // do); each receives an independent PRNG derived from seed.
 func Portfolio(in *Instance, names []string, seed int64) (*Matching, []PortfolioResult, error) {
+	return PortfolioCtx(context.Background(), in, names, seed)
+}
+
+// PortfolioCtx is Portfolio under a context: every member runs through
+// SolveContext, so cancellation stops the long solvers (see SolveContext)
+// and each member's run lands in the per-algorithm solve metrics. The
+// portfolio itself records geacc_portfolio_runs_total, the winner under
+// geacc_portfolio_wins_total, and all-members-failed outcomes under
+// geacc_portfolio_failures_total.
+func PortfolioCtx(ctx context.Context, in *Instance, names []string, seed int64) (*Matching, []PortfolioResult, error) {
 	if len(names) == 0 {
 		return nil, nil, fmt.Errorf("core: empty portfolio")
 	}
-	solvers := make([]Solver, len(names))
-	for i, name := range names {
-		s, err := LookupSolver(name)
-		if err != nil {
+	for _, name := range names {
+		if _, err := LookupSolver(name); err != nil {
 			return nil, nil, err
 		}
-		solvers[i] = s
 	}
+	portfolioRuns.Inc()
 
 	results := make([]PortfolioResult, len(names))
 	var wg sync.WaitGroup
@@ -46,7 +55,11 @@ func Portfolio(in *Instance, names []string, seed int64) (*Matching, []Portfolio
 			}()
 			results[i].Name = names[i]
 			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-			m := solvers[i](in, rng)
+			m, err := SolveContext(ctx, names[i], in, rng)
+			if err != nil {
+				results[i].Err = err
+				return
+			}
 			if err := Validate(in, m); err != nil {
 				results[i].Err = err
 				return
@@ -57,16 +70,22 @@ func Portfolio(in *Instance, names []string, seed int64) (*Matching, []Portfolio
 	wg.Wait()
 
 	var best *Matching
+	var bestName string
 	for _, r := range results {
 		if r.Err != nil || r.Matching == nil {
 			continue
 		}
 		if best == nil || r.Matching.MaxSum() > best.MaxSum() {
-			best = r.Matching
+			best, bestName = r.Matching, r.Name
 		}
 	}
 	if best == nil {
+		portfolioFailures.Inc()
+		if err := ctx.Err(); err != nil {
+			return nil, results, err
+		}
 		return nil, results, fmt.Errorf("core: every portfolio solver failed")
 	}
+	observePortfolioWin(bestName)
 	return best, results, nil
 }

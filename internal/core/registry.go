@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 // Solver is the uniform signature the experiment harness drives: solve the
@@ -52,4 +56,53 @@ func LookupSolver(name string) (Solver, error) {
 		return nil, fmt.Errorf("core: unknown solver %q (valid: %v)", name, SolverNames())
 	}
 	return s, nil
+}
+
+// SolveContext runs the named registry solver under ctx, recording the
+// per-algorithm solve metrics (geacc_solve_total, geacc_solve_seconds,
+// geacc_solve_errors_total) and — when a recorder travels on ctx via
+// obs.ContextWithRecorder — one trace span per solve.
+//
+// Cancellation is honored by the solvers that can actually run long:
+// mincostflow aborts between augmenting paths, exact between search-node
+// expansions, and greedy between heap pops. The random baselines check ctx
+// only once, before starting (they are linear-time shuffles). A canceled
+// run returns ctx's error and a nil matching.
+func SolveContext(ctx context.Context, name string, in *Instance, rng *rand.Rand) (*Matching, error) {
+	solve, err := LookupSolver(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled before starting still counts as an errored solve, so
+		// dashboards see load shed under cancellation storms.
+		observeSolve(name, 0, err)
+		return nil, err
+	}
+	sp := obs.RecorderFrom(ctx).Start("solve/"+name).
+		Annotate("events", in.NumEvents()).
+		Annotate("users", in.NumUsers())
+	start := time.Now()
+	var m *Matching
+	switch name {
+	case "greedy":
+		m, err = GreedyCtx(ctx, in, GreedyOptions{})
+	case "mincostflow":
+		var fr *FlowResult
+		fr, err = MinCostFlowCtx(ctx, in, FlowOptions{})
+		if err == nil {
+			m = fr.Matching
+		}
+	case "exact":
+		m, _, err = ExactOpts(in, ExactOptions{Ctx: ctx})
+	default:
+		m = solve(in, rng)
+	}
+	observeSolve(name, time.Since(start), err)
+	if err != nil {
+		sp.Annotate("error", err.Error()).End()
+		return nil, err
+	}
+	sp.Annotate("pairs", m.Size()).Annotate("max_sum", m.MaxSum()).End()
+	return m, nil
 }

@@ -1,0 +1,44 @@
+// Package mincostflow implements a minimum-cost flow solver on directed
+// networks with integer capacities and real-valued arc costs.
+//
+// MinCostFlow-GEACC (Algorithm 1 of the paper) reduces the conflict-free
+// GEACC instance to min-cost flow and computes minimum-cost flows of every
+// amount Δ ∈ [Δmin, Δmax]. The solver here is the Successive Shortest Path
+// Algorithm (SSPA) — the variant the paper (citing SIGMOD'08) recommends
+// for large-scale many-to-many matching with real-valued costs — with
+// Dijkstra over reduced costs and node potentials. Because SSPA augments
+// along shortest paths, the flow after the k-th unit of augmentation is
+// itself a minimum-cost flow of amount k, so a single run yields the whole
+// Δ-sweep.
+//
+// # API
+//
+// Build a network with NewGraph and AddArc (arcs are stored as
+// forward/residual twins; AddArc returns an ArcID whose post-solve flow is
+// read back with Graph.Flow). Grow pre-allocates arc storage when the arc
+// count is known. A Solver is bound to one source/sink pair by NewSolver
+// and mutates the graph's residual capacities; build a fresh Graph (or
+// Solver) per solve.
+//
+// Three driving styles, all built on the same augmentation step:
+//
+//   - Solver.MinCostFlow(target): push up to target units at minimum cost
+//     (math.MaxInt64 for min-cost max-flow).
+//   - Solver.Augment(maxUnits): one shortest augmenting path at a time;
+//     successive calls yield non-decreasing per-unit costs, and after each
+//     call the current flow is a minimum-cost flow of amount TotalFlow().
+//   - Solver.AugmentBelow(maxUnits, bound): augment only while the next
+//     path's per-unit cost stays below bound — the primitive
+//     internal/core's Δ-sweep uses to stop at the MaxSum-optimal Δ, and
+//     the natural place callers poll for cancellation (internal/core does,
+//     between calls).
+//
+// Costs may be negative as long as the graph admits no negative cycle:
+// NewSolver runs one Bellman–Ford pass to compute valid initial potentials
+// when a negative-cost arc is present (the GEACC reduction's costs lie in
+// [0, 1], so it skips this).
+//
+// The package also ships a cycle-canceling solver (cyclecancel.go) used as
+// a cross-checking ablation in tests and benchmarks; SSPA is the
+// production path.
+package mincostflow

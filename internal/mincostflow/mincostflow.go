@@ -1,14 +1,3 @@
-// Package mincostflow implements a minimum-cost flow solver on directed
-// networks with integer capacities and real-valued arc costs.
-//
-// MinCostFlow-GEACC (Algorithm 1 of the paper) reduces the conflict-free
-// GEACC instance to min-cost flow and computes minimum-cost flows of every
-// amount Δ ∈ [Δmin, Δmax]. The solver here is the Successive Shortest Path
-// Algorithm (SSPA) — the variant the paper (citing SIGMOD'08) recommends for
-// large-scale many-to-many matching with real-valued costs — with Dijkstra
-// over reduced costs and node potentials. Because SSPA augments along
-// shortest paths, the flow after the k-th unit of augmentation is itself a
-// minimum-cost flow of amount k, so a single run yields the whole Δ-sweep.
 package mincostflow
 
 import (

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// knownPaths are the routes metrics may label. Anything else is folded
+// into "other" so an attacker probing random URLs cannot grow the metric
+// namespace without bound.
+var knownPaths = map[string]bool{
+	"/healthz":    true,
+	"/algorithms": true,
+	"/solve":      true,
+	"/trace":      true,
+	"/report":     true,
+	"/validate":   true,
+	"/debug/vars": true,
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withMetrics wraps a handler with the HTTP telemetry layer: per-endpoint
+// request counts labeled by status code (geacc_http_requests_total),
+// per-endpoint latency histograms (geacc_http_request_seconds), and the
+// in-flight gauge (geacc_http_inflight). See docs/OBSERVABILITY.md.
+func withMetrics(next http.Handler) http.Handler {
+	inflight := obs.Default().Gauge("geacc_http_inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if !knownPaths[path] {
+			path = "other"
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start).Seconds()
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		reg := obs.Default()
+		reg.Counter(obs.Label("geacc_http_requests_total",
+			"path", path, "code", strconv.Itoa(code))).Inc()
+		reg.Histogram(obs.Label("geacc_http_request_seconds", "path", path),
+			obs.DefaultLatencyBuckets).Observe(elapsed)
+	})
+}
+
+// DebugHandler serves the full diagnostics surface: expvar (including the
+// "geacc" metrics registry) at /debug/vars and the net/http/pprof profiles
+// under /debug/pprof/. geacc-server binds it to a separate listener via
+// the -debug-addr flag, keeping profiling endpoints off the traffic port;
+// the main handler exposes only the read-cheap /debug/vars.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,21 +1,11 @@
-// Package server exposes the GEACC solvers as a small JSON-over-HTTP
-// service — the shape in which an EBSN platform would actually consume this
-// library. Endpoints:
-//
-//	GET  /healthz            liveness probe
-//	GET  /algorithms         available solver names
-//	POST /solve?algo=&seed=  instance JSON -> matching JSON (+ metrics)
-//	POST /trace              instance JSON -> greedy matching + decision log
-//	POST /report             {"instance":..., "matching":...} -> quality report
-//	POST /validate           {"instance":..., "matching":...} -> feasibility verdict
-//
-// Handlers are plain http.Handlers built on the standard library, with
-// bounded request bodies and JSON error envelopes.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -31,7 +21,15 @@ import (
 // CLI tools.
 const MaxRequestBytes = 64 << 20
 
-// New returns the service's handler.
+// statusClientClosedRequest mirrors nginx's non-standard 499: the client
+// disconnected (or timed out) before the solver finished, and the request
+// context's cancellation aborted the run.
+const statusClientClosedRequest = 499
+
+// New returns the service's handler, wrapped in the metrics middleware.
+// Besides the solver endpoints it serves the expvar page (the "geacc"
+// metrics registry plus Go runtime vars) at GET /debug/vars; the heavier
+// pprof surface is only on DebugHandler.
 func New() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
@@ -40,7 +38,8 @@ func New() http.Handler {
 	mux.HandleFunc("POST /trace", handleTrace)
 	mux.HandleFunc("POST /report", handleReport)
 	mux.HandleFunc("POST /validate", handleValidate)
-	return mux
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return withMetrics(mux)
 }
 
 // errorJSON is the error envelope.
@@ -52,6 +51,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+}
+
+// solveErrorStatus maps a solver error to an HTTP status: context
+// cancellation (the client went away) and deadline expiry report as 499,
+// anything else as fallback.
+func solveErrorStatus(err error, fallback int) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusClientClosedRequest
+	}
+	return fallback
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -99,18 +108,21 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The request context travels into the solver: a client disconnect
+	// cancels long MinCostFlow sweeps and exact searches instead of
+	// burning the worker on an answer nobody will read.
+	ctx := r.Context()
 	start := time.Now()
 	var m *core.Matching
 	if algo == "portfolio" {
-		m, _, err = core.Portfolio(in,
+		m, _, err = core.PortfolioCtx(ctx, in,
 			[]string{"greedy", "mincostflow", "random-v", "random-u"}, seed)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
 			return
 		}
 	} else {
-		solve, lerr := core.LookupSolver(algo)
-		if lerr != nil {
+		if _, lerr := core.LookupSolver(algo); lerr != nil {
 			writeError(w, http.StatusBadRequest, lerr)
 			return
 		}
@@ -119,7 +131,11 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
 			return
 		}
-		m = solve(in, rand.New(rand.NewSource(seed)))
+		m, err = core.SolveContext(ctx, algo, in, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+			return
+		}
 	}
 	elapsed := time.Since(start).Seconds()
 	if err := core.Validate(in, m); err != nil {
@@ -169,11 +185,15 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var steps []TraceStepJSON
-	m := core.GreedyOpts(in, core.GreedyOptions{Trace: func(s core.TraceStep) {
+	m, err := core.GreedyCtx(r.Context(), in, core.GreedyOptions{Trace: func(s core.TraceStep) {
 		steps = append(steps, TraceStepJSON{
 			V: s.V, U: s.U, Sim: s.Sim, Accepted: s.Accepted, Reason: s.Reason,
 		})
 	}})
+	if err != nil {
+		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		return
+	}
 	if err := core.Validate(in, m); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
