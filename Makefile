@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/obs ./internal/server ./internal/core
 BENCH     ?= .
 BENCH_FLAGS := -benchmem -benchtime=1x
 
-.PHONY: build test race race-all vet bench cover clean run-server help
+.PHONY: build test race race-all vet bench bench-json cover clean run-server help
 
 ## build: compile every package and the command-line tools
 build:
@@ -34,6 +34,10 @@ vet:
 ## bench: run benchmarks once through (BENCH=<regexp> to filter)
 bench:
 	$(GO) test -run=^$$ -bench=$(BENCH) $(BENCH_FLAGS) $(PKGS)
+
+## bench-json: solver latency+quality snapshot on pinned instances -> BENCH_solvers.json
+bench-json:
+	$(GO) run ./cmd/geacc-bench -reps 3 -solvers-json BENCH_solvers.json
 
 ## cover: full suite with a coverage summary
 cover:

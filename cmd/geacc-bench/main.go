@@ -22,11 +22,12 @@ import (
 	"strings"
 
 	"github.com/ebsnlab/geacc/internal/bench"
+	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "geacc-bench:", err)
+		obs.MustLogger(os.Stderr).Error("geacc-bench failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -40,8 +41,37 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "root random seed")
 	csvPath := fs.String("csv", "", "also write raw points to this CSV file")
 	jsonPath := fs.String("json", "", "also write raw points to this JSON file")
+	solversJSON := fs.String("solvers-json", "",
+		"run the pinned solver benchmark set and write the BENCH_solvers.json snapshot here (ignores -run)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	if *solversJSON != "" {
+		logger.Info("running pinned solver benchmarks", "reps", *reps)
+		points, err := bench.RunSolverBench(bench.Options{Reps: *reps, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*solversJSON)
+		if err != nil {
+			return err
+		}
+		err = bench.WriteSolverBenchJSON(f, points)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		logger.Info("wrote solver benchmark snapshot", "points", len(points), "path", *solversJSON)
+		return nil
 	}
 
 	if *list {
@@ -71,7 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	opt := bench.Options{Scale: *scale, Reps: *reps, Seed: *seed}
 	var allPoints []bench.Point
 	for _, e := range experiments {
-		fmt.Fprintf(os.Stderr, "running %s (scale %.3g, reps %d)...\n", e.ID, *scale, *reps)
+		logger.Info("running experiment", "id", e.ID, "scale", *scale, "reps", *reps)
 		points, err := e.Run(opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
@@ -94,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 		if err := bench.WriteCSV(f, allPoints); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(allPoints), *csvPath)
+		logger.Info("wrote raw points", "points", len(allPoints), "path", *csvPath)
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -105,7 +135,7 @@ func run(args []string, stdout io.Writer) error {
 		if err := bench.WriteJSON(f, allPoints); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(allPoints), *jsonPath)
+		logger.Info("wrote raw points", "points", len(allPoints), "path", *jsonPath)
 	}
 	return nil
 }

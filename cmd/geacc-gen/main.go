@@ -19,11 +19,12 @@ import (
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/dataset"
 	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "geacc-gen:", err)
+		obs.MustLogger(os.Stderr).Error("geacc-gen failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -42,7 +43,13 @@ func run(args []string, stdout io.Writer) error {
 	city := fs.String("city", "auckland", "meetup city: vancouver, auckland, singapore")
 	seed := fs.Int64("seed", 1, "random seed")
 	outPath := fs.String("out", "", "write the instance here instead of stdout")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -51,7 +58,6 @@ func run(args []string, stdout io.Writer) error {
 		simK encoding.SimKind
 		d    int
 		maxT float64
-		err  error
 	)
 	switch *kind {
 	case "synthetic":
@@ -106,7 +112,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := encoding.EncodeInstance(out, in, simK, d, maxT); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "generated %s instance: |V|=%d |U|=%d |CF|=%d\n",
-		*kind, in.NumEvents(), in.NumUsers(), in.Conflicts.Edges())
+	logger.Info("generated instance", "kind", *kind,
+		"events", in.NumEvents(), "users", in.NumUsers(), "conflicts", in.Conflicts.Edges())
 	return nil
 }

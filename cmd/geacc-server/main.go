@@ -2,29 +2,35 @@
 //
 // Usage:
 //
-//	geacc-server -addr :8080 [-debug-addr :6060]
+//	geacc-server -addr :8080 [-debug-addr :6060] [-log-format json]
 //
 //	curl localhost:8080/algorithms
 //	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy'
+//	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy&diag=1'
+//	curl -XPOST --data-binary @instance.json 'localhost:8080/trace?format=chrome'
 //	curl -XPOST --data-binary @session.json localhost:8080/validate
-//	curl localhost:8080/debug/vars          # metrics (expvar, always on)
-//	curl localhost:6060/debug/pprof/        # profiles (only with -debug-addr)
+//	curl localhost:8080/metrics                # Prometheus text exposition
+//	curl localhost:8080/debug/vars             # metrics (expvar, always on)
+//	curl localhost:6060/debug/pprof/           # profiles (only with -debug-addr)
 //
-// The main listener always serves the solver endpoints plus the expvar
-// metrics page at /debug/vars. Passing -debug-addr starts a second,
-// diagnostics-only listener with expvar and net/http/pprof — keep it bound
-// to localhost or an internal interface; profiling endpoints are not meant
-// for public traffic. See internal/server for the endpoint contract and
-// docs/OBSERVABILITY.md for the metric catalog and example sessions.
+// The main listener always serves the solver endpoints plus the metric
+// surfaces: Prometheus text at /metrics and expvar JSON at /debug/vars.
+// Requests are logged through log/slog (-log-level, -log-format; json
+// emits one object per line for log pipelines). Passing -debug-addr
+// starts a second, diagnostics-only listener with expvar and
+// net/http/pprof — keep it bound to localhost or an internal interface;
+// profiling endpoints are not meant for public traffic. See
+// internal/server for the endpoint contract and docs/OBSERVABILITY.md for
+// the metric catalog and example sessions.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
+	"os"
 	"time"
 
+	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/server"
 )
 
@@ -32,7 +38,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "",
 		"optional diagnostics listen address (expvar + pprof); empty disables")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		obs.MustLogger(os.Stderr).Error("bad logging flags", "error", err)
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		dbg := &http.Server{
@@ -41,20 +55,21 @@ func main() {
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			fmt.Printf("geacc-server debug listener (expvar + pprof) on %s\n", *debugAddr)
+			logger.Info("debug listener starting (expvar + pprof)", "addr", *debugAddr)
 			// A failed debug listener must not take the traffic port down
 			// with it; log and keep serving.
-			log.Printf("debug listener exited: %v", dbg.ListenAndServe())
+			logger.Error("debug listener exited", "error", dbg.ListenAndServe())
 		}()
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           server.NewWithLogger(logger),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      10 * time.Minute, // min-cost flow on large instances is slow
 	}
-	fmt.Printf("geacc-server listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+	logger.Info("listening", "addr", *addr)
+	logger.Error("server exited", "error", srv.ListenAndServe())
+	os.Exit(1)
 }

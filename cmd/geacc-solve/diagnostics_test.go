@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/encoding"
+)
+
+func TestSolveDiagOut(t *testing.T) {
+	path := writeInstance(t)
+	diagPath := filepath.Join(t.TempDir(), "diag.json")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "mincostflow", "-diag-out", diagPath, "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	m, err := encoding.DecodeMatching(&out)
+	if err != nil {
+		t.Fatalf("stdout is not a matching: %v", err)
+	}
+
+	raw, err := os.ReadFile(diagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d core.Diagnostics
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("diagnostics is not JSON: %v\n%s", err, raw)
+	}
+	if d.Algo != "mincostflow" {
+		t.Errorf("algo = %q", d.Algo)
+	}
+	if d.Events != 2 || d.Users != 3 {
+		t.Errorf("shape = (%d, %d), want (2, 3)", d.Events, d.Users)
+	}
+	if d.MaxSum != m.MaxSum() {
+		t.Errorf("diag MaxSum %v != printed %v", d.MaxSum, m.MaxSum())
+	}
+	if d.RelaxedUpperBound <= 0 {
+		t.Errorf("relaxed upper bound = %v", d.RelaxedUpperBound)
+	}
+	wantGap := (d.RelaxedUpperBound - d.MaxSum) / d.RelaxedUpperBound
+	if wantGap < 0 {
+		wantGap = 0
+	}
+	if math.Abs(d.Gap-wantGap) > 1e-12 {
+		t.Errorf("gap = %v, want %v", d.Gap, wantGap)
+	}
+	if len(d.Phases) == 0 {
+		t.Error("no phase timings recorded")
+	}
+}
+
+func TestSolveDiagPortfolioAndGreedyIndex(t *testing.T) {
+	path := writeInstance(t)
+	for _, args := range [][]string{
+		{"-in", path, "-algo", "portfolio"},
+		{"-in", path, "-algo", "greedy", "-index", "kdtree"},
+	} {
+		diagPath := filepath.Join(t.TempDir(), "diag.json")
+		var out bytes.Buffer
+		if err := run(append(args, "-diag-out", diagPath, "-quiet"), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		raw, err := os.ReadFile(diagPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d core.Diagnostics
+		if err := json.Unmarshal(raw, &d); err != nil {
+			t.Fatalf("%v: diagnostics is not JSON: %v", args, err)
+		}
+		if d.Algo != args[3] {
+			t.Errorf("%v: algo = %q", args, d.Algo)
+		}
+		if d.Gap < 0 || d.RelaxedUpperBound <= 0 {
+			t.Errorf("%v: gap = %v, ub = %v", args, d.Gap, d.RelaxedUpperBound)
+		}
+	}
+}
+
+func TestSolveTraceOut(t *testing.T) {
+	path := writeInstance(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "exact", "-trace-out", tracePath, "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, raw)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	names := make(map[string]bool)
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %q: negative ts/dur (%v, %v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		names[ev.Name] = true
+	}
+	if !names["solve/exact"] {
+		t.Errorf("missing solve/exact span; got %v", names)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+}
+
+func TestSolveBadLoggingFlags(t *testing.T) {
+	path := writeInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-log-level", "loud"}, &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if err := run([]string{"-in", path, "-log-format", "xml"}, &out); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}

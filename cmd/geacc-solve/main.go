@@ -6,27 +6,36 @@
 //	geacc-gen -kind synthetic -events 20 -users 100 -out instance.json
 //	geacc-solve -in instance.json -algo greedy
 //	geacc-solve -in instance.json -algo mincostflow -format csv -out matching.csv
+//	geacc-solve -in instance.json -algo exact -diag -trace-out trace.json
 //
 // The output (JSON by default, CSV with -format csv) lists each assigned
 // (event, user) pair with its interestingness value, plus the MaxSum.
+// -diag prints the per-solve Diagnostics artifact (instance shape, phase
+// timings, the Corollary 1 relaxation bound, and the optimality gap) as
+// JSON on stderr (or to -diag-out); -trace-out writes the solver's spans
+// as Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "geacc-solve:", err)
+		obs.MustLogger(os.Stderr).Error("geacc-solve failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -40,15 +49,27 @@ func run(args []string, stdout io.Writer) error {
 	sessionPath := fs.String("session", "", "also archive instance+matching+metadata (JSON) here")
 	seed := fs.Int64("seed", 1, "seed for the random baselines")
 	index := fs.String("index", "", "greedy NN index: chunked (default), sorted, kdtree, idistance, vafile, parallel, lsh")
-	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
+	quiet := fs.Bool("quiet", false, "suppress the summary log line")
 	showReport := fs.Bool("report", false, "print an arrangement quality report to stderr")
 	skipBound := fs.Bool("no-bound", false, "with -report, skip the relaxation upper bound (faster)")
+	diag := fs.Bool("diag", false, "print per-solve diagnostics (shape, phases, optimality gap) as JSON to stderr")
+	diagOut := fs.String("diag-out", "", "with -diag, write the diagnostics JSON here instead of stderr")
+	traceOut := fs.String("trace-out", "", "write solver spans as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if *diagOut != "" {
+		*diag = true
 	}
 
 	f, err := os.Open(*inPath)
@@ -61,11 +82,22 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Diagnosed or traced runs carry a span recorder on the context so the
+	// solvers' phase spans are captured; plain runs skip the bookkeeping.
+	ctx := context.Background()
+	var rec *obs.Recorder
+	var countersBefore map[string]int64
+	if *diag || *traceOut != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.ContextWithRecorder(ctx, rec)
+		countersBefore = obs.Default().Counters()
+	}
+
 	var m *core.Matching
 	start := time.Now()
 	if *algo == "portfolio" {
 		// Race the practical solvers concurrently and keep the best.
-		best, _, err := core.Portfolio(in,
+		best, _, err := core.PortfolioCtx(ctx, in,
 			[]string{"greedy", "mincostflow", "random-v", "random-u"}, *seed)
 		if err != nil {
 			return err
@@ -76,17 +108,24 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		m = core.GreedyOpts(in, core.GreedyOptions{Index: kind})
-	} else {
-		solve, err := core.LookupSolver(*algo)
+		m, err = core.GreedyCtx(ctx, in, core.GreedyOptions{Index: kind})
 		if err != nil {
 			return err
 		}
-		m = solve(in, rand.New(rand.NewSource(*seed)))
+	} else {
+		if m, err = core.SolveContext(ctx, *algo, in, rand.New(rand.NewSource(*seed))); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	if err := core.Validate(in, m); err != nil {
 		return fmt.Errorf("internal error: infeasible matching: %w", err)
+	}
+
+	var diagDoc *core.Diagnostics
+	if *diag {
+		diagDoc = core.BuildDiagnostics(*algo, in, m, elapsed, rec.Spans(),
+			obs.DiffCounters(countersBefore, obs.Default().Counters()))
 	}
 	if *sessionPath != "" {
 		sf, err := os.Create(*sessionPath)
@@ -129,8 +168,26 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "%s: |V|=%d |U|=%d |CF|=%d -> %d pairs, MaxSum=%.4f in %v\n",
-			*algo, in.NumEvents(), in.NumUsers(), conflictCount(in), m.Size(), m.MaxSum(), elapsed)
+		attrs := []any{
+			"algo", *algo, "events", in.NumEvents(), "users", in.NumUsers(),
+			"conflicts", conflictCount(in), "pairs", m.Size(),
+			"max_sum", m.MaxSum(), "seconds", elapsed.Seconds(),
+		}
+		if diagDoc != nil {
+			attrs = append(attrs, "gap", diagDoc.Gap,
+				"relaxed_upper_bound", diagDoc.RelaxedUpperBound)
+		}
+		logger.Info("solve", attrs...)
+	}
+	if diagDoc != nil {
+		if err := writeDiagnostics(diagDoc, *diagOut, logger); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(rec, *traceOut, logger); err != nil {
+			return err
+		}
 	}
 	if *showReport {
 		rep, err := report.Build(in, m, *skipBound)
@@ -139,6 +196,50 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprint(os.Stderr, rep)
 	}
+	return nil
+}
+
+// writeDiagnostics emits the artifact as indented JSON, to stderr by
+// default so it composes with -out/-format on stdout.
+func writeDiagnostics(d *core.Diagnostics, path string, logger *slog.Logger) error {
+	w := io.Writer(os.Stderr)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := encodeIndentedJSON(w, d); err != nil {
+		return err
+	}
+	if path != "" {
+		logger.Debug("wrote diagnostics", "path", path)
+	}
+	return nil
+}
+
+func encodeIndentedJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeTrace exports the recorder's spans as Chrome trace-event JSON.
+func writeTrace(rec *obs.Recorder, path string, logger *slog.Logger) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rec.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	logger.Debug("wrote chrome trace", "path", path, "spans", len(rec.Spans()))
 	return nil
 }
 

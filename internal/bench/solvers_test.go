@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSolverBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every pinned solver case")
+	}
+	points, err := RunSolverBench(Options{Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 12 {
+		t.Fatalf("got %d points, want >= 12", len(points))
+	}
+	algos := make(map[string]int)
+	for _, p := range points {
+		algo, _, ok := strings.Cut(p.Name, "/")
+		if !ok {
+			t.Errorf("point name %q is not algo/shape", p.Name)
+		}
+		algos[algo]++
+		if p.NV <= 0 || p.NU <= 0 {
+			t.Errorf("%s: shape (%d, %d)", p.Name, p.NV, p.NU)
+		}
+		if p.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v", p.Name, p.NsPerOp)
+		}
+		if p.MaxSum <= 0 {
+			t.Errorf("%s: maxsum = %v", p.Name, p.MaxSum)
+		}
+		if p.Gap < 0 || p.Gap > 1 {
+			t.Errorf("%s: gap = %v outside [0, 1]", p.Name, p.Gap)
+		}
+	}
+	for _, algo := range []string{"greedy", "mincostflow", "exact"} {
+		if algos[algo] == 0 {
+			t.Errorf("no points for %s; got %v", algo, algos)
+		}
+	}
+	// The snapshot must be deterministic modulo timing: same instances,
+	// same matchings, same quality numbers on every run.
+	again, err := RunSolverBench(Options{Reps: 1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i].Name != again[i].Name ||
+			points[i].MaxSum != again[i].MaxSum ||
+			points[i].Gap != again[i].Gap {
+			t.Errorf("point %d not deterministic: %+v vs %+v", i, points[i], again[i])
+		}
+	}
+}
+
+func TestWriteSolverBenchJSON(t *testing.T) {
+	in := []SolverBenchPoint{
+		{Name: "greedy/v10_u50", NV: 10, NU: 50, NsPerOp: 1234.5, MaxSum: 42.25, Gap: 0.03},
+	}
+	var buf bytes.Buffer
+	if err := WriteSolverBenchJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []SolverBenchPoint
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip: %+v", out)
+	}
+	for _, key := range []string{`"name"`, `"n_v"`, `"n_u"`, `"ns_per_op"`, `"maxsum"`, `"gap"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("missing %s in %s", key, buf.String())
+		}
+	}
+}

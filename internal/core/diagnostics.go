@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// Diagnostics is the per-solve quality/latency artifact: the instance
+// shape, the achieved MaxSum against the Corollary 1 relaxation bound, the
+// resulting optimality gap, where the wall-clock time went (one entry per
+// recorded span), and how much solver work the run performed (deltas of
+// the process-global obs counters). It is what `geacc-solve -diag` prints
+// and what `POST /solve?diag=1` embeds in its response.
+type Diagnostics struct {
+	Algo string `json:"algo"`
+
+	// Instance shape.
+	Events        int `json:"events"`         // |V|
+	Users         int `json:"users"`          // |U|
+	Conflicts     int `json:"conflicts"`      // |CF|
+	EventCapacity int `json:"event_capacity"` // Σ c_v
+	UserCapacity  int `json:"user_capacity"`  // Σ c_u
+
+	// Outcome.
+	Pairs  int     `json:"pairs"`
+	MaxSum float64 `json:"max_sum"`
+
+	// Quality: RelaxedUpperBound is MaxSum(M∅), the conflict-free
+	// relaxation optimum of Corollary 1, and Gap is
+	// (RelaxedUpperBound - MaxSum) / RelaxedUpperBound — 0 means the solve
+	// met the bound (provably optimal), clamped to 0 when the bound itself
+	// is 0 (empty instances have nothing to lose).
+	RelaxedUpperBound float64 `json:"relaxed_upper_bound"`
+	Gap               float64 `json:"gap"`
+
+	// Timing: total wall clock plus one entry per span the solve emitted
+	// (solve/<algo> and the per-phase spans underneath it).
+	Seconds float64       `json:"seconds"`
+	Phases  []PhaseTiming `json:"phases,omitempty"`
+
+	// MetricDeltas holds the obs counters the run moved (heap pops,
+	// augmenting paths, search nodes, …), by encoded series name. Deltas
+	// are read from the process-global registry, so concurrent solves in
+	// other goroutines bleed into each other's counts; on a busy server
+	// treat them as indicative, in a CLI run they are exact.
+	MetricDeltas map[string]int64 `json:"metric_deltas,omitempty"`
+}
+
+// PhaseTiming is one named wall-clock interval inside a solve.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// SolveDiagnostics runs the named registry solver like SolveContext and
+// additionally assembles the Diagnostics artifact. A recorder already on
+// ctx is reused (the solve's spans land in it as usual); otherwise a
+// private one is attached so phase timings are always captured. The gap is
+// also published to the obs registry (geacc_solve_gap{algo=…} histogram,
+// geacc_solve_last_gap{algo=…} gauge).
+//
+// Computing RelaxedUpperBound costs one extra min-cost-flow solve of the
+// relaxation; callers on a latency budget should stick to SolveContext.
+func SolveDiagnostics(ctx context.Context, name string, in *Instance, rng *rand.Rand) (*Matching, *Diagnostics, error) {
+	rec := obs.RecorderFrom(ctx)
+	if rec == nil {
+		rec = obs.NewRecorder()
+		ctx = obs.ContextWithRecorder(ctx, rec)
+	}
+	spansBefore := len(rec.Spans())
+	before := obs.Default().Counters()
+	start := time.Now()
+	m, err := SolveContext(ctx, name, in, rng)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	deltas := obs.DiffCounters(before, obs.Default().Counters())
+	spans := rec.Spans()[spansBefore:]
+	return m, BuildDiagnostics(name, in, m, elapsed, spans, deltas), nil
+}
+
+// BuildDiagnostics assembles the artifact from an already-completed solve:
+// the server uses it directly for the portfolio path, SolveDiagnostics for
+// everything else. It computes the Corollary 1 bound (one relaxation
+// solve) and publishes the gap metrics as a side effect.
+func BuildDiagnostics(algo string, in *Instance, m *Matching, elapsed time.Duration,
+	spans []obs.SpanData, deltas map[string]int64) *Diagnostics {
+	d := &Diagnostics{
+		Algo:         algo,
+		Events:       in.NumEvents(),
+		Users:        in.NumUsers(),
+		Pairs:        m.Size(),
+		MaxSum:       m.MaxSum(),
+		Seconds:      elapsed.Seconds(),
+		MetricDeltas: deltas,
+	}
+	if in.Conflicts != nil {
+		d.Conflicts = in.Conflicts.Edges()
+	}
+	for _, e := range in.Events {
+		d.EventCapacity += e.Cap
+	}
+	for _, u := range in.Users {
+		d.UserCapacity += u.Cap
+	}
+	for _, sp := range spans {
+		d.Phases = append(d.Phases, PhaseTiming{Name: sp.Name, Seconds: sp.Duration.Seconds()})
+	}
+	d.RelaxedUpperBound = RelaxedUpperBound(in)
+	if d.RelaxedUpperBound > 0 {
+		d.Gap = (d.RelaxedUpperBound - d.MaxSum) / d.RelaxedUpperBound
+		// MaxSum can exceed the bound only by float rounding; a negative
+		// gap would just confuse dashboards.
+		if d.Gap < 0 {
+			d.Gap = 0
+		}
+	}
+	observeGap(algo, d.Gap)
+	return d
+}

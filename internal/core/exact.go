@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sort"
+
+	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 // ErrNodeLimit is returned when an exact search exceeds its node budget.
@@ -95,6 +97,8 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 	if nv == 0 || nu == 0 {
 		return NewMatching(), st.stats, nil
 	}
+	rec := obs.RecorderFrom(opt.Ctx)
+	sp := rec.Start("exact/prep")
 
 	// Precompute the similarity matrix and, per event, users in
 	// non-increasing similarity order (the event's NN list).
@@ -162,6 +166,7 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 		st.capU[u] = usr.Cap
 	}
 	st.userEvents = make([][]int, nu)
+	sp.End()
 
 	// Algorithm 3 line 1: seed the best matching with Greedy-GEACC so the
 	// bound prunes from the very beginning.
@@ -169,11 +174,17 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 		st.best = NewMatching()
 		st.bestSum = -1 // any matching (even empty) improves on this
 	} else {
+		sp = rec.Start("exact/warmstart")
 		st.best = Greedy(in)
 		st.bestSum = st.best.MaxSum()
+		sp.Annotate("seed_max_sum", st.bestSum).End()
 	}
 
+	sp = rec.Start("exact/search")
 	err := st.search(0, 1)
+	sp.Annotate("nodes", st.stats.Invocations).
+		Annotate("prunes", st.stats.Prunes).
+		Annotate("complete", st.stats.CompleteSearches).End()
 	exactNodes.Add(st.stats.Invocations)
 	exactPrunes.Add(st.stats.Prunes)
 	exactComplete.Add(st.stats.CompleteSearches)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/ebsnlab/geacc/internal/knn"
+	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/pqueue"
 )
 
@@ -76,6 +77,10 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 	if nv == 0 || nu == 0 {
 		return m
 	}
+	// Phase spans land in the recorder traveling on opt.Ctx, if any; the
+	// nil path costs one pointer check.
+	rec := obs.RecorderFrom(opt.Ctx)
+	sp := rec.Start("greedy/init")
 	src := newNeighborSource(in, opt.Index, opt.ChunkSize)
 
 	capV := make([]int, nv)
@@ -159,9 +164,11 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 	for u := 0; u < nu; u++ {
 		advanceUser(u)
 	}
+	sp.End()
 
 	// Iteration (lines 11-23): pop the most similar pair, add it when
 	// feasible, then let both endpoints contribute their next candidates.
+	sp = rec.Start("greedy/scan")
 	var pops, accepted int64
 	for h.Len() > 0 {
 		if opt.Ctx != nil && pops%greedyCtxStride == 0 && opt.Ctx.Err() != nil {
@@ -193,6 +200,7 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 		advanceEvent(p.V)
 		advanceUser(p.U)
 	}
+	sp.Annotate("pops", pops).Annotate("accepted", accepted).End()
 	greedyPops.Add(pops)
 	greedyAccepted.Add(accepted)
 	greedyRejected.Add(pops - accepted)

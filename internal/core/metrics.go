@@ -33,6 +33,28 @@ var (
 	portfolioFailures = obs.Default().Counter("geacc_portfolio_failures_total")
 )
 
+// gapBuckets are the histogram bounds for the optimality gap
+// (RelaxedUpperBound - MaxSum) / RelaxedUpperBound: a ratio in [0, 1],
+// bucketed finely near 0 where the approximation algorithms actually land
+// (Theorems 2 and 3 put greedy/mincostflow within constant factors, and in
+// practice well under 10% of the Corollary 1 bound).
+var gapBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1,
+}
+
+// observeGap records one diagnosed solve's optimality gap: the
+// per-algorithm distribution (geacc_solve_gap) and the most recent value
+// (geacc_solve_last_gap), both keyed by algo.
+func observeGap(algo string, gap float64) {
+	reg := obs.Default()
+	reg.Histogram(obs.Label("geacc_solve_gap", "algo", algo), gapBuckets).Observe(gap)
+	reg.FloatGauge(obs.Label("geacc_solve_last_gap", "algo", algo)).Set(gap)
+}
+
 // observeSolve records one SolveContext outcome under the per-algorithm
 // solve metrics.
 func observeSolve(algo string, elapsed time.Duration, err error) {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Trace Event Format's traceEvents array —
+// the JSON schema chrome://tracing and Perfetto load natively. Only the
+// "X" (complete) phase is emitted: one event per finished span, with
+// timestamps and durations in microseconds as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // µs since the trace origin
+	Dur  float64        `json:"dur"` // µs
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavor of the format (the array flavor is
+// also legal, but the object one carries metadata like displayTimeUnit).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders finished spans as Chrome trace-event JSON, ready
+// for Perfetto (ui.perfetto.dev) or chrome://tracing. Timestamps are
+// rebased onto the earliest span start so traces start at t=0; span
+// annotations become the event's args. A nil/empty span list yields a
+// valid trace with an empty traceEvents array.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	doc := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+	}
+	var origin time.Time
+	for _, sp := range spans {
+		if origin.IsZero() || sp.Start.Before(origin) {
+			origin = sp.Start
+		}
+	}
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(origin)) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteChromeTrace exports the recorder's finished spans; see the package
+// function. A nil recorder writes an empty (still valid) trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if err := WriteChromeTrace(w, r.Spans()); err != nil {
+		return fmt.Errorf("obs: chrome trace export: %w", err)
+	}
+	return nil
+}

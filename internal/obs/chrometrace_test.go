@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace round-trips the export through encoding/json, which is the
+// validity bar Perfetto's loader applies before interpreting events.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) (events []map[string]any, doc map[string]any) {
+	t.Helper()
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("traceEvents missing or wrong type: %v", doc["traceEvents"])
+	}
+	for _, e := range raw {
+		events = append(events, e.(map[string]any))
+	}
+	return events, doc
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rec := NewRecorder()
+	outer := rec.Start("solve/greedy").Annotate("events", 2).Annotate("users", 3)
+	inner := rec.Start("greedy/scan")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, doc := decodeTrace(t, &buf)
+	if doc["displayTimeUnit"] != "ms" {
+		t.Errorf("displayTimeUnit = %v", doc["displayTimeUnit"])
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range events {
+		byName[e["name"].(string)] = e
+		if e["ph"] != "X" {
+			t.Errorf("event %v phase = %v, want X", e["name"], e["ph"])
+		}
+		for _, k := range []string{"ts", "dur", "pid", "tid"} {
+			if _, ok := e[k].(float64); !ok {
+				t.Errorf("event %v field %s missing or non-numeric: %v", e["name"], k, e[k])
+			}
+		}
+		if e["ts"].(float64) < 0 {
+			t.Errorf("negative ts %v", e["ts"])
+		}
+	}
+	solve, scan := byName["solve/greedy"], byName["greedy/scan"]
+	if solve == nil || scan == nil {
+		t.Fatalf("missing spans: %v", byName)
+	}
+	// The outer span started first: after rebasing its ts is the origin.
+	if solve["ts"].(float64) != 0 {
+		t.Errorf("outer span ts = %v, want 0", solve["ts"])
+	}
+	if scan["dur"].(float64) < 1000 { // slept 1ms = 1000µs
+		t.Errorf("inner span dur = %vµs, want >= 1000", scan["dur"])
+	}
+	args := solve["args"].(map[string]any)
+	if args["events"].(float64) != 2 || args["users"].(float64) != 3 {
+		t.Errorf("args = %v", args)
+	}
+}
+
+func TestChromeTraceEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeTrace(t, &buf)
+	if len(events) != 0 {
+		t.Fatalf("events = %v, want empty", events)
+	}
+
+	buf.Reset()
+	var rec *Recorder // nil recorder must still export a valid empty trace
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decodeTrace(t, &buf)
+}
+
+func TestLoggerConstruction(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "k", 1)
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, buf.String())
+	}
+	if doc["msg"] != "hello" || doc["k"].(float64) != 1 {
+		t.Errorf("log line = %v", doc)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	if s := buf.String(); !bytes.Contains([]byte(s), []byte("kept")) || bytes.Contains([]byte(s), []byte("dropped")) {
+		t.Errorf("level filter broken: %q", s)
+	}
+
+	if _, err := NewLogger(&buf, "nope", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger every geacc binary shares, from
+// the two flag values the CLIs expose: -log-level (debug, info, warn,
+// error) and -log-format (text or json; json is one object per line,
+// ingestible by any log pipeline). Unknown values are an error so a typo'd
+// flag fails fast instead of silently logging at the wrong level.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text or json)", format)
+	}
+}
+
+// MustLogger returns a plain text/Info logger. It cannot fail, so the
+// CLIs use it to report errors building the flag-configured logger itself.
+func MustLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// ParseLevel maps a -log-level flag value onto a slog level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", level)
+	}
+}

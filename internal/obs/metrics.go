@@ -57,6 +57,19 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous float64 value. Unlike Gauge it can hold
+// fractional quantities (ratios, gaps); the Prometheus renderer skips
+// NaN/Inf values, so callers may Set whatever a computation produced.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram buckets float64 observations under fixed upper bounds. An
 // observation v lands in the first bucket whose bound satisfies v <= bound;
 // values above every bound are counted only in the total. Construct through
@@ -139,18 +152,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // namespace: a counter and a gauge may share a name, though the repo's
 // conventions (see docs/OBSERVABILITY.md) keep names globally unique.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry. Most callers want Default instead.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
 	}
 }
 
@@ -188,6 +203,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.RLock()
+	g, ok := r.floatGauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.floatGauges[name]; !ok {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given bounds
 // on first use. Later calls return the existing histogram regardless of
 // bounds — the first registration wins.
@@ -220,15 +252,53 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, g := range r.gauges {
 		gauges[name] = g.Value()
 	}
+	floatGauges := make(map[string]float64, len(r.floatGauges))
+	for name, g := range r.floatGauges {
+		// NaN/Inf are not valid JSON; a float gauge holding one is omitted
+		// here and by the Prometheus renderer alike.
+		if v := g.Value(); !math.IsNaN(v) && !math.IsInf(v, 0) {
+			floatGauges[name] = v
+		}
+	}
 	histograms := make(map[string]HistogramSnapshot, len(r.histograms))
 	for name, h := range r.histograms {
 		histograms[name] = h.Snapshot()
 	}
 	return map[string]any{
-		"counters":   counters,
-		"gauges":     gauges,
-		"histograms": histograms,
+		"counters":     counters,
+		"gauges":       gauges,
+		"float_gauges": floatGauges,
+		"histograms":   histograms,
 	}
+}
+
+// Counters returns a point-in-time copy of every counter value, keyed by
+// the encoded series name. Diagnostics uses before/after copies to report
+// how much solver work a single run performed.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// DiffCounters returns after-before per series name, dropping zero deltas
+// (and returning nil when nothing moved). Pair it with two Counters()
+// calls to attribute work counts to one region of code.
+func DiffCounters(before, after map[string]int64) map[string]int64 {
+	deltas := make(map[string]int64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			deltas[name] = d
+		}
+	}
+	if len(deltas) == 0 {
+		return nil
+	}
+	return deltas
 }
 
 // Label encodes label key/value pairs into a metric name,

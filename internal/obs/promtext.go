@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4) — the wire format every Prometheus-compatible
+// scraper understands — without importing any client library.
+//
+// Series names produced by Label ("m{a=x,b=y}") are decoded back into a
+// metric family plus label pairs. Family and label names are sanitized to
+// the Prometheus grammar (invalid runes become '_'), label values are
+// escaped per the spec, float gauges holding NaN/±Inf are skipped, and
+// histograms are expanded into `_bucket` (cumulative, ending in the
+// mandatory `le="+Inf"` bucket equal to `_count`), `_sum`, and `_count`.
+// Output is deterministic: families sort by name, series by label string.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type series struct {
+		labels string // rendered {k="v",...} or ""
+		lines  []string
+	}
+	type family struct {
+		typ    string // counter | gauge | histogram
+		series []series
+	}
+	families := make(map[string]*family)
+	add := func(name, typ string, render func(fam, labels string) []string) {
+		base, labels := splitSeries(name)
+		fam := families[base]
+		if fam == nil {
+			fam = &family{typ: typ}
+			families[base] = fam
+		}
+		fam.series = append(fam.series, series{labels: labels, lines: render(base, labels)})
+	}
+
+	for name, c := range r.counters {
+		v := c.Value()
+		add(name, "counter", func(fam, labels string) []string {
+			return []string{fmt.Sprintf("%s%s %d", fam, labels, v)}
+		})
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		add(name, "gauge", func(fam, labels string) []string {
+			return []string{fmt.Sprintf("%s%s %d", fam, labels, v)}
+		})
+	}
+	for name, g := range r.floatGauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		add(name, "gauge", func(fam, labels string) []string {
+			return []string{fmt.Sprintf("%s%s %s", fam, labels, formatFloat(v))}
+		})
+	}
+	for name, h := range r.histograms {
+		snap := h.Snapshot()
+		add(name, "histogram", func(fam, labels string) []string {
+			lines := make([]string, 0, len(snap.Buckets)+3)
+			for _, b := range snap.Buckets {
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d",
+					fam, withLabel(labels, "le", formatFloat(b.LE)), b.Count))
+			}
+			// The +Inf bucket is cumulative over everything, including
+			// observations above the last finite bound: always == _count.
+			lines = append(lines,
+				fmt.Sprintf("%s_bucket%s %d", fam, withLabel(labels, "le", "+Inf"), snap.Count),
+				fmt.Sprintf("%s_sum%s %s", fam, labels, formatFloat(snap.Sum)),
+				fmt.Sprintf("%s_count%s %d", fam, labels, snap.Count))
+			return lines
+		})
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := families[name]
+		sort.Slice(fam.series, func(i, j int) bool {
+			return fam.series[i].labels < fam.series[j].labels
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.typ); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			for _, line := range s.lines {
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitSeries decodes a Label-encoded series name into the sanitized family
+// name and a rendered, escaped label block ("" when unlabeled).
+func splitSeries(name string) (base, labels string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return sanitizeMetricName(name), ""
+	}
+	base = sanitizeMetricName(name[:open])
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return base, ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pair := range strings.Split(body, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, found := strings.Cut(pair, "=")
+		if !found {
+			v = ""
+		}
+		b.WriteString(sanitizeLabelName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return base, b.String()
+}
+
+// withLabel appends one more label pair to an already-rendered label block.
+func withLabel(labels, key, value string) string {
+	extra := sanitizeLabelName(key) + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// sanitizeMetricName maps a string onto the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; invalid runes become '_'.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil {
+			b = append([]byte(nil), name[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// sanitizeLabelName maps a string onto the label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	s := sanitizeMetricName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline as the
+// exposition format requires.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

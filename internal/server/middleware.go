@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"expvar"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -20,6 +22,16 @@ var knownPaths = map[string]bool{
 	"/trace":      true,
 	"/report":     true,
 	"/validate":   true,
+	"/metrics":    true,
+	"/debug/vars": true,
+}
+
+// telemetryPaths are scraped by dashboards and load balancers on a timer;
+// their request logs go out at Debug so a healthy system's log stream is
+// about solves, not about being watched.
+var telemetryPaths = map[string]bool{
+	"/healthz":    true,
+	"/metrics":    true,
 	"/debug/vars": true,
 }
 
@@ -69,6 +81,52 @@ func withMetrics(next http.Handler) http.Handler {
 			"path", path, "code", strconv.Itoa(code))).Inc()
 		reg.Histogram(obs.Label("geacc_http_request_seconds", "path", path),
 			obs.DefaultLatencyBuckets).Observe(elapsed)
+	})
+}
+
+type loggerKey struct{}
+
+// requestLogger returns the structured logger withLogging stored on the
+// request context; handlers use it for domain events (solve summaries) so
+// those lines carry the same handler/format configuration as request logs.
+func requestLogger(r *http.Request) *slog.Logger {
+	if log, ok := r.Context().Value(loggerKey{}).(*slog.Logger); ok {
+		return log
+	}
+	return slog.Default()
+}
+
+// withLogging wraps a handler with structured request logging: one
+// log/slog record per request (method, path, status, duration, body size)
+// and the logger itself on the request context for handlers to enrich.
+// Telemetry endpoints (health checks, metric scrapes) log at Debug,
+// everything else at Info; server-side failures escalate to Warn/Error so
+// a text-level=info deployment still surfaces them.
+func withLogging(next http.Handler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), loggerKey{}, log)))
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		level := slog.LevelInfo
+		switch {
+		case code >= 500:
+			level = slog.LevelError
+		case code >= 400:
+			level = slog.LevelWarn
+		case telemetryPaths[r.URL.Path]:
+			level = slog.LevelDebug
+		}
+		log.LogAttrs(r.Context(), level, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Float64("seconds", time.Since(start).Seconds()),
+			slog.Int64("request_bytes", r.ContentLength),
+		)
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
 )
 
@@ -27,10 +29,21 @@ const MaxRequestBytes = 64 << 20
 const statusClientClosedRequest = 499
 
 // New returns the service's handler, wrapped in the metrics middleware.
-// Besides the solver endpoints it serves the expvar page (the "geacc"
-// metrics registry plus Go runtime vars) at GET /debug/vars; the heavier
-// pprof surface is only on DebugHandler.
+// Request logs go to slog's process default; geacc-server passes its
+// flag-configured logger through NewWithLogger. Besides the solver
+// endpoints it serves the Prometheus text exposition at GET /metrics and
+// the expvar page (the "geacc" metrics registry plus Go runtime vars) at
+// GET /debug/vars; the heavier pprof surface is only on DebugHandler.
 func New() http.Handler {
+	return NewWithLogger(slog.Default())
+}
+
+// NewWithLogger is New with an explicit request logger. A nil logger
+// falls back to slog.Default().
+func NewWithLogger(log *slog.Logger) http.Handler {
+	if log == nil {
+		log = slog.Default()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /algorithms", handleAlgorithms)
@@ -38,8 +51,17 @@ func New() http.Handler {
 	mux.HandleFunc("POST /trace", handleTrace)
 	mux.HandleFunc("POST /report", handleReport)
 	mux.HandleFunc("POST /validate", handleValidate)
+	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return withMetrics(mux)
+	return withMetrics(withLogging(mux, log))
+}
+
+// handleMetrics serves the obs registry in the Prometheus text exposition
+// format — the scrape target for Prometheus-compatible collectors; the
+// expvar page at /debug/vars serves the same instruments as JSON.
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
 }
 
 // errorJSON is the error envelope.
@@ -80,13 +102,25 @@ func handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// SolveResponse is the /solve payload.
+// SolveResponse is the /solve payload. Diagnostics is present only when
+// the request asked for it with ?diag=1.
 type SolveResponse struct {
-	Matching encoding.MatchingJSON `json:"matching"`
-	Algo     string                `json:"algo"`
-	Seconds  float64               `json:"seconds"`
-	Events   int                   `json:"events"`
-	Users    int                   `json:"users"`
+	Matching    encoding.MatchingJSON `json:"matching"`
+	Algo        string                `json:"algo"`
+	Seconds     float64               `json:"seconds"`
+	Events      int                   `json:"events"`
+	Users       int                   `json:"users"`
+	Diagnostics *core.Diagnostics     `json:"diagnostics,omitempty"`
+}
+
+// wantDiag reports whether the request opted into the per-solve
+// diagnostics artifact (instance shape, optimality gap, phase timings).
+func wantDiag(r *http.Request) bool {
+	switch r.URL.Query().Get("diag") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -107,19 +141,34 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	diag := wantDiag(r)
 
 	// The request context travels into the solver: a client disconnect
 	// cancels long MinCostFlow sweeps and exact searches instead of
-	// burning the worker on an answer nobody will read.
+	// burning the worker on an answer nobody will read. Diagnosed
+	// requests additionally carry a span recorder so phase timings land
+	// in the artifact.
 	ctx := r.Context()
+	var rec *obs.Recorder
+	var countersBefore map[string]int64
+	if diag {
+		rec = obs.NewRecorder()
+		ctx = obs.ContextWithRecorder(ctx, rec)
+		countersBefore = obs.Default().Counters()
+	}
 	start := time.Now()
 	var m *core.Matching
+	var d *core.Diagnostics
 	if algo == "portfolio" {
 		m, _, err = core.PortfolioCtx(ctx, in,
 			[]string{"greedy", "mincostflow", "random-v", "random-u"}, seed)
 		if err != nil {
 			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
 			return
+		}
+		if diag {
+			d = core.BuildDiagnostics(algo, in, m, time.Since(start), rec.Spans(),
+				obs.DiffCounters(countersBefore, obs.Default().Counters()))
 		}
 	} else {
 		if _, lerr := core.LookupSolver(algo); lerr != nil {
@@ -131,7 +180,12 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
 			return
 		}
-		m, err = core.SolveContext(ctx, algo, in, rand.New(rand.NewSource(seed)))
+		rng := rand.New(rand.NewSource(seed))
+		if diag {
+			m, d, err = core.SolveDiagnostics(ctx, algo, in, rng)
+		} else {
+			m, err = core.SolveContext(ctx, algo, in, rng)
+		}
 		if err != nil {
 			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
 			return
@@ -142,6 +196,15 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+
+	logAttrs := []any{
+		"algo", algo, "events", in.NumEvents(), "users", in.NumUsers(),
+		"pairs", m.Size(), "max_sum", m.MaxSum(), "seconds", elapsed,
+	}
+	if d != nil {
+		logAttrs = append(logAttrs, "gap", d.Gap, "relaxed_upper_bound", d.RelaxedUpperBound)
+	}
+	requestLogger(r).Info("solve", logAttrs...)
 
 	var buf bytes.Buffer
 	if err := encoding.EncodeMatching(&buf, m); err != nil {
@@ -154,11 +217,12 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, SolveResponse{
-		Matching: mj,
-		Algo:     algo,
-		Seconds:  elapsed,
-		Events:   in.NumEvents(),
-		Users:    in.NumUsers(),
+		Matching:    mj,
+		Algo:        algo,
+		Seconds:     elapsed,
+		Events:      in.NumEvents(),
+		Users:       in.NumUsers(),
+		Diagnostics: d,
 	})
 }
 
@@ -182,6 +246,17 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "steps":
+		// The classic decision log below.
+	case "chrome":
+		handleChromeTrace(w, r, in)
+		return
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: unknown trace format %q (steps or chrome)", format))
 		return
 	}
 	var steps []TraceStepJSON
@@ -212,6 +287,33 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 		steps = []TraceStepJSON{}
 	}
 	writeJSON(w, TraceResponse{Matching: mj, Steps: steps})
+}
+
+// handleChromeTrace runs the requested solver (default greedy) with a span
+// recorder attached and answers with the spans in Chrome trace-event JSON —
+// loadable as-is in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func handleChromeTrace(w http.ResponseWriter, r *http.Request, in *core.Instance) {
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "greedy"
+	}
+	if _, err := core.LookupSolver(algo); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec := obs.NewRecorder()
+	ctx := obs.ContextWithRecorder(r.Context(), rec)
+	m, err := core.SolveContext(ctx, algo, in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	if err := core.Validate(in, m); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteChromeTrace(w)
 }
 
 // pairDoc is the {"instance":..., "matching":...} request body shared by

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -32,7 +34,9 @@ func instanceJSON(t *testing.T) []byte {
 
 func newServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(New())
+	// Request logs are exercised by the dedicated logging tests; keep the
+	// rest of the suite's output clean.
+	srv := httptest.NewServer(NewWithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
 	t.Cleanup(srv.Close)
 	return srv
 }
