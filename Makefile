@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/obs ./internal/server ./internal/core
 BENCH     ?= .
 BENCH_FLAGS := -benchmem -benchtime=1x
 
-.PHONY: build test race race-all vet bench bench-json cover clean run-server help
+.PHONY: build test race race-all vet bench bench-json bench-compare cover clean run-server help
 
 ## build: compile every package and the command-line tools
 build:
@@ -38,6 +38,10 @@ bench:
 ## bench-json: solver latency+quality snapshot on pinned instances -> BENCH_solvers.json
 bench-json:
 	$(GO) run ./cmd/geacc-bench -reps 3 -solvers-json BENCH_solvers.json
+
+## bench-compare: rerun the pinned set and diff against the committed snapshot (fails on >20% ns/op regressions)
+bench-compare:
+	$(GO) run ./cmd/geacc-bench -reps 3 -compare BENCH_solvers.json
 
 ## cover: full suite with a coverage summary
 cover:

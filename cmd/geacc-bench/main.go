@@ -43,6 +43,10 @@ func run(args []string, stdout io.Writer) error {
 	jsonPath := fs.String("json", "", "also write raw points to this JSON file")
 	solversJSON := fs.String("solvers-json", "",
 		"run the pinned solver benchmark set and write the BENCH_solvers.json snapshot here (ignores -run)")
+	comparePath := fs.String("compare", "",
+		"run the pinned solver benchmark set and diff it against the snapshot at this path; exits non-zero on ns_per_op regressions beyond -compare-tol (ignores -run)")
+	compareTol := fs.Float64("compare-tol", 0.20,
+		"relative ns_per_op slowdown tolerated by -compare (0.20 = +20%)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -53,9 +57,30 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *comparePath != "" {
+		old, err := bench.ReadSolverBenchFile(*comparePath)
+		if err != nil {
+			return err
+		}
+		logger.Info("running pinned solver benchmarks for comparison", "reps", *reps, "against", *comparePath)
+		fresh, err := bench.RunSolverBench(bench.Options{Reps: *reps, Seed: *seed, LargeShapes: true})
+		if err != nil {
+			return err
+		}
+		deltas, onlyOld, onlyNew := bench.CompareSolverBench(old, fresh)
+		report, regressed := bench.FormatBenchComparison(deltas, onlyOld, onlyNew, *compareTol)
+		fmt.Fprint(stdout, report)
+		if len(regressed) > 0 {
+			return fmt.Errorf("%d point(s) regressed beyond %.0f%%: %s",
+				len(regressed), *compareTol*100, strings.Join(regressed, ", "))
+		}
+		logger.Info("no regressions beyond tolerance", "points", len(deltas), "tolerance", *compareTol)
+		return nil
+	}
+
 	if *solversJSON != "" {
 		logger.Info("running pinned solver benchmarks", "reps", *reps)
-		points, err := bench.RunSolverBench(bench.Options{Reps: *reps, Seed: *seed})
+		points, err := bench.RunSolverBench(bench.Options{Reps: *reps, Seed: *seed, LargeShapes: true})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BenchDelta is the comparison of one solver bench point across two
+// snapshots.
+type BenchDelta struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // NewNs / OldNs; > 1 means slower
+	OldSum float64
+	NewSum float64
+}
+
+// Regressed reports whether the point slowed down beyond tol (e.g. 0.20 for
+// +20% ns_per_op).
+func (d BenchDelta) Regressed(tol float64) bool {
+	return d.OldNs > 0 && d.NewNs > d.OldNs*(1+tol)
+}
+
+// QualityChanged reports whether MaxSum moved at all. The pinned instances
+// and solvers are deterministic, so any drift is a behavior change worth a
+// look, not noise.
+func (d BenchDelta) QualityChanged() bool { return d.OldSum != d.NewSum }
+
+// CompareSolverBench diffs a fresh solver bench run against a committed
+// snapshot, matching points by name. It returns all shared-point deltas
+// (sorted by descending ratio: worst slowdown first) plus the names present
+// in only one of the two sets.
+func CompareSolverBench(old, fresh []SolverBenchPoint) (deltas []BenchDelta, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]SolverBenchPoint, len(old))
+	for _, p := range old {
+		oldByName[p.Name] = p
+	}
+	seen := make(map[string]bool, len(fresh))
+	for _, p := range fresh {
+		seen[p.Name] = true
+		o, ok := oldByName[p.Name]
+		if !ok {
+			onlyNew = append(onlyNew, p.Name)
+			continue
+		}
+		d := BenchDelta{
+			Name: p.Name, OldNs: o.NsPerOp, NewNs: p.NsPerOp,
+			OldSum: o.MaxSum, NewSum: p.MaxSum,
+		}
+		if o.NsPerOp > 0 {
+			d.Ratio = p.NsPerOp / o.NsPerOp
+		}
+		deltas = append(deltas, d)
+	}
+	for _, p := range old {
+		if !seen[p.Name] {
+			onlyOld = append(onlyOld, p.Name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Ratio != deltas[j].Ratio {
+			return deltas[i].Ratio > deltas[j].Ratio
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// FormatBenchComparison renders a comparison report and returns the names of
+// points regressed beyond tol. Quality drifts are flagged in the report but
+// do not count as perf regressions.
+func FormatBenchComparison(deltas []BenchDelta, onlyOld, onlyNew []string, tol float64) (report string, regressed []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s\n", "name", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed(tol) {
+			flag = "  << REGRESSION"
+			regressed = append(regressed, d.Name)
+		}
+		quality := ""
+		if d.QualityChanged() {
+			quality = fmt.Sprintf("  (maxsum %v -> %v)", d.OldSum, d.NewSum)
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %8.2f%s%s\n", d.Name, d.OldNs, d.NewNs, d.Ratio, flag, quality)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(&b, "%-28s only in committed snapshot\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(&b, "%-28s only in fresh run (re-generate the snapshot to pin it)\n", name)
+	}
+	return b.String(), regressed
+}
+
+// ReadSolverBenchJSON loads a BENCH_solvers.json snapshot.
+func ReadSolverBenchJSON(r io.Reader) ([]SolverBenchPoint, error) {
+	var points []SolverBenchPoint
+	if err := json.NewDecoder(r).Decode(&points); err != nil {
+		return nil, fmt.Errorf("bench: decode solver snapshot: %w", err)
+	}
+	return points, nil
+}
+
+// ReadSolverBenchFile loads a BENCH_solvers.json snapshot from disk.
+func ReadSolverBenchFile(path string) ([]SolverBenchPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSolverBenchJSON(f)
+}

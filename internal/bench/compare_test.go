@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareSolverBench(t *testing.T) {
+	old := []SolverBenchPoint{
+		{Name: "greedy/v10_u50", NsPerOp: 1000, MaxSum: 30},
+		{Name: "greedy/v20_u100", NsPerOp: 2000, MaxSum: 60},
+		{Name: "exact/v3_u6", NsPerOp: 500, MaxSum: 5},
+	}
+	fresh := []SolverBenchPoint{
+		{Name: "greedy/v10_u50", NsPerOp: 1300, MaxSum: 30},  // +30%: regression
+		{Name: "greedy/v20_u100", NsPerOp: 1500, MaxSum: 61}, // faster, quality drift
+		{Name: "greedy/v50_u500", NsPerOp: 9000, MaxSum: 200},
+	}
+	deltas, onlyOld, onlyNew := CompareSolverBench(old, fresh)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	// Sorted worst ratio first.
+	if deltas[0].Name != "greedy/v10_u50" || deltas[1].Name != "greedy/v20_u100" {
+		t.Fatalf("delta order: %q, %q", deltas[0].Name, deltas[1].Name)
+	}
+	if !deltas[0].Regressed(0.20) {
+		t.Error("+30% not flagged at 20% tolerance")
+	}
+	if deltas[0].Regressed(0.50) {
+		t.Error("+30% flagged at 50% tolerance")
+	}
+	if deltas[1].Regressed(0.20) {
+		t.Error("speedup flagged as regression")
+	}
+	if !deltas[1].QualityChanged() || deltas[0].QualityChanged() {
+		t.Error("quality drift misreported")
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "exact/v3_u6" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "greedy/v50_u500" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+
+	report, regressed := FormatBenchComparison(deltas, onlyOld, onlyNew, 0.20)
+	if len(regressed) != 1 || regressed[0] != "greedy/v10_u50" {
+		t.Errorf("regressed = %v", regressed)
+	}
+	for _, want := range []string{"REGRESSION", "maxsum", "only in committed snapshot", "only in fresh run"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestReadSolverBenchJSONRoundTrip(t *testing.T) {
+	points := []SolverBenchPoint{{Name: "greedy/v10_u50", NV: 10, NU: 50, NsPerOp: 1234.5, MaxSum: 30.25, Gap: 0.1}}
+	var buf strings.Builder
+	if err := WriteSolverBenchJSON(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSolverBenchJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != points[0] {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

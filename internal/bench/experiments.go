@@ -293,9 +293,19 @@ func truncate(in *core.Instance, opt Options) *core.Instance {
 			}
 		}
 	}
+	conflicts := conflict.FromPairs(nv, pairs)
+	if in.SimFunc != nil {
+		// Rebuild through the constructor so the shrunk instance gets fresh
+		// similarity kernels over the surviving vectors (a field copy would
+		// carry the full-size kernels, which consumers would have to reject
+		// as stale and fall back to the slow path).
+		if rebuilt, err := core.NewInstance(events, users, conflicts, in.SimFunc); err == nil {
+			return rebuilt
+		}
+	}
 	shrunk := *in
 	shrunk.Events = events
 	shrunk.Users = users
-	shrunk.Conflicts = conflict.FromPairs(nv, pairs)
+	shrunk.Conflicts = conflicts
 	return &shrunk
 }

@@ -39,6 +39,11 @@ type Options struct {
 	// Seed is the root seed; every instance and randomized solver derives
 	// from it deterministically.
 	Seed int64
+	// LargeShapes includes the large pinned shapes (v50_u500, v100_u2000)
+	// in RunSolverBench. Off by default so plain `go test` stays fast; the
+	// geacc-bench CLI turns it on for snapshot generation, where the large
+	// shapes are the ones that actually exercise the batched kernel path.
+	LargeShapes bool
 }
 
 // withDefaults normalizes an Options value.

@@ -32,6 +32,7 @@ type solverBenchCase struct {
 	nv, nu      int
 	eventCapMax int
 	userCapMax  int
+	large       bool // only run when Options.LargeShapes is set
 }
 
 // solverBenchCases is the pinned set: a size sweep for the two
@@ -44,6 +45,16 @@ func solverBenchCases() []solverBenchCase {
 			cases = append(cases, solverBenchCase{
 				algo: algo, nv: shape[0], nu: shape[1],
 				eventCapMax: 10, userCapMax: 4,
+			})
+		}
+	}
+	// Large shapes: big enough that the batched-kernel scan path dominates
+	// the profile (the small sweep above mostly measures per-solve setup).
+	for _, algo := range []string{"greedy", "mincostflow"} {
+		for _, shape := range [][2]int{{50, 500}, {100, 2000}} {
+			cases = append(cases, solverBenchCase{
+				algo: algo, nv: shape[0], nu: shape[1],
+				eventCapMax: 10, userCapMax: 4, large: true,
 			})
 		}
 	}
@@ -67,7 +78,13 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 	}
 	solvers := core.Solvers()
 	var points []SolverBenchPoint
+	// The relaxed upper bound is a property of the instance, not the solver;
+	// cache it per shape so the sweep pays for each relaxation once.
+	ubCache := map[[2]int]float64{}
 	for _, c := range solverBenchCases() {
+		if c.large && !opt.LargeShapes {
+			continue
+		}
 		cfg := dataset.DefaultSynthetic()
 		cfg.NumEvents = c.nv
 		cfg.NumUsers = c.nu
@@ -96,7 +113,11 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 			}
 			m = mm
 		}
-		ub := core.RelaxedUpperBound(in)
+		ub, ok := ubCache[[2]int{c.nv, c.nu}]
+		if !ok {
+			ub = core.RelaxedUpperBound(in)
+			ubCache[[2]int{c.nv, c.nu}] = ub
+		}
 		gap := 0.0
 		if ub > 0 {
 			if gap = (ub - m.MaxSum()) / ub; gap < 0 {

@@ -106,9 +106,7 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 	st.nn = make([][]int, nv)
 	for v := 0; v < nv; v++ {
 		st.simMat[v] = make([]float64, nu)
-		for u := 0; u < nu; u++ {
-			st.simMat[v][u] = in.Similarity(v, u)
-		}
+		in.similarityRow(v, st.simMat[v])
 		order := make([]int, nu)
 		for u := range order {
 			order[u] = u

@@ -35,6 +35,13 @@ type Instance struct {
 	SimFunc sim.Func
 	// Matrix optionally fixes similarity values explicitly: Matrix[v][u].
 	Matrix [][]float64
+
+	// Batched similarity kernels over each side's attribute vectors, built
+	// once by NewInstance (nil on matrix instances and on Instance literals
+	// assembled without the constructor). They are a pure fast path: every
+	// consumer falls back to SimFunc when they are absent or stale.
+	usersKernel  *sim.Kernel // evaluates sim(query, Users[u].Attrs)
+	eventsKernel *sim.Kernel // evaluates sim(query, Events[v].Attrs)
 }
 
 // NewInstance builds a vector-based instance and validates its shape.
@@ -64,6 +71,8 @@ func NewInstance(events []Event, users []User, conflicts *conflict.Graph, f sim.
 			return nil, fmt.Errorf("core: user %d has %d attributes, want %d", i, len(u.Attrs), d)
 		}
 	}
+	in.usersKernel = sim.NewKernel(in.UserAttrs(), f)
+	in.eventsKernel = sim.NewKernel(in.EventAttrs(), f)
 	return in, nil
 }
 
@@ -119,7 +128,67 @@ func (in *Instance) Similarity(v, u int) float64 {
 	if in.Matrix != nil {
 		return in.Matrix[v][u]
 	}
+	if k := in.kernelOverUsers(); k != nil {
+		return k.Sim(in.Events[v].Attrs, u)
+	}
 	return in.SimFunc(in.Events[v].Attrs, in.Users[u].Attrs)
+}
+
+// kernelOverUsers returns the batched kernel over user attribute vectors, or
+// nil when it is unavailable or stale. Staleness happens when Users was
+// replaced after construction (e.g. the bench harness truncates a copied
+// instance without re-running NewInstance); the length check keeps such
+// copies on the always-correct SimFunc path.
+func (in *Instance) kernelOverUsers() *sim.Kernel {
+	if in.usersKernel != nil && in.usersKernel.Len() == len(in.Users) {
+		return in.usersKernel
+	}
+	return nil
+}
+
+// kernelOverEvents is kernelOverUsers for the event side.
+func (in *Instance) kernelOverEvents() *sim.Kernel {
+	if in.eventsKernel != nil && in.eventsKernel.Len() == len(in.Events) {
+		return in.eventsKernel
+	}
+	return nil
+}
+
+// similarityRow fills out[u] = Similarity(v, u) for every user, batching
+// through the kernel when available. len(out) must be NumUsers().
+func (in *Instance) similarityRow(v int, out []float64) {
+	if in.Matrix != nil {
+		copy(out, in.Matrix[v])
+		return
+	}
+	if k := in.kernelOverUsers(); k != nil {
+		k.SimBatch(in.Events[v].Attrs, 0, len(in.Users), out)
+		return
+	}
+	for u := range in.Users {
+		out[u] = in.SimFunc(in.Events[v].Attrs, in.Users[u].Attrs)
+	}
+}
+
+// similarityColumn fills out[v] = Similarity(v, u) for every event, batching
+// through the kernel when available. len(out) must be NumEvents().
+func (in *Instance) similarityColumn(u int, out []float64) {
+	if in.Matrix != nil {
+		for v := range in.Events {
+			out[v] = in.Matrix[v][u]
+		}
+		return
+	}
+	// Columns evaluate f(user, event); the recognized built-ins are bitwise
+	// symmetric so the swap is invisible, but a custom Func only promises
+	// semantic symmetry — keep it on the original f(event, user) orientation.
+	if k := in.kernelOverEvents(); k != nil && k.Batched() {
+		k.SimBatch(in.Users[u].Attrs, 0, len(in.Events), out)
+		return
+	}
+	for v := range in.Events {
+		out[v] = in.SimFunc(in.Events[v].Attrs, in.Users[u].Attrs)
+	}
 }
 
 // Conflicting reports whether events i and j conflict. A nil conflict graph

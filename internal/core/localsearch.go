@@ -57,6 +57,11 @@ func LocalSearch(in *Instance, start *Matching, opt LocalSearchOptions) (*Matchi
 	}
 	var stats LocalSearchStats
 	before := m.MaxSum()
+	// Scratch for batched similarity scans: phases 1 and 2 consume whole
+	// rows (an event against every user) and columns (a user against every
+	// event), which the instance kernel fills in one pass.
+	rowBuf := make([]float64, in.NumUsers())
+	colBuf := make([]float64, in.NumEvents())
 
 	conflictsFor := func(v, u int, ignoring int) bool {
 		for _, w := range m.UserEvents(u) {
@@ -77,11 +82,12 @@ func LocalSearch(in *Instance, start *Matching, opt LocalSearchOptions) (*Matchi
 			if capV[v] == 0 {
 				continue
 			}
+			in.similarityRow(v, rowBuf)
 			for u := 0; u < in.NumUsers(); u++ {
 				if capU[u] == 0 || m.Contains(v, u) {
 					continue
 				}
-				s := in.Similarity(v, u)
+				s := rowBuf[u]
 				if s <= 0 || conflictsFor(v, u, -1) {
 					continue
 				}
@@ -102,23 +108,25 @@ func LocalSearch(in *Instance, start *Matching, opt LocalSearchOptions) (*Matchi
 				continue // removed by an earlier move this round
 			}
 			// replace-user: give v's seat to a better-matching user.
+			in.similarityRow(p.V, rowBuf)
 			bestU, bestUS := -1, p.Sim
 			for u := 0; u < in.NumUsers(); u++ {
 				if capU[u] == 0 || m.Contains(p.V, u) {
 					continue
 				}
-				s := in.Similarity(p.V, u)
+				s := rowBuf[u]
 				if s > bestUS && !conflictsFor(p.V, u, -1) {
 					bestU, bestUS = u, s
 				}
 			}
 			// replace-event: move u's slot to a better event.
+			in.similarityColumn(p.U, colBuf)
 			bestV, bestVS := -1, p.Sim
 			for v := 0; v < in.NumEvents(); v++ {
 				if capV[v] == 0 || m.Contains(v, p.U) {
 					continue
 				}
-				s := in.Similarity(v, p.U)
+				s := colBuf[v]
 				if s > bestVS && !conflictsFor(v, p.U, p.V) {
 					bestV, bestVS = v, s
 				}

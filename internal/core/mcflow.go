@@ -122,11 +122,14 @@ func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
 	}
 	// Pair arcs — including zero-similarity pairs, exactly as the paper's
 	// construction demands (they make every Δ up to Δmax feasible; Lemma 1
-	// relies on that). Arc ids are recorded to read flows back.
+	// relies on that). Arc ids are recorded to read flows back. Costs come
+	// from one batched similarity row per event.
 	pairArc := make([]mincostflow.ArcID, nv*nu)
+	simRow := make([]float64, nu)
 	for v := 0; v < nv; v++ {
+		in.similarityRow(v, simRow)
 		for u := 0; u < nu; u++ {
-			pairArc[v*nu+u] = g.AddArc(eventNode(v), userNode(u), 1, 1-in.Similarity(v, u))
+			pairArc[v*nu+u] = g.AddArc(eventNode(v), userNode(u), 1, 1-simRow[u])
 		}
 	}
 
@@ -151,11 +154,12 @@ func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
 	mcflowDeltaUnits.Add(res.Delta)
 
 	for v := 0; v < nv; v++ {
+		in.similarityRow(v, simRow)
 		for u := 0; u < nu; u++ {
 			if g.Flow(pairArc[v*nu+u]) != 1 {
 				continue
 			}
-			if s := in.Similarity(v, u); s > 0 {
+			if s := simRow[u]; s > 0 {
 				res.Relaxed.Add(v, u, s)
 			}
 		}

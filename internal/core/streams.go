@@ -78,32 +78,38 @@ func newNeighborSource(in *Instance, kind IndexKind, chunkSize int) neighborSour
 	if in.Matrix != nil {
 		return &matrixSource{in: in}
 	}
-	build := func(data []sim.Vector, f sim.Func) knn.Index {
+	// Reuse the instance's flat kernels when they are fresh; stale or absent
+	// kernels (Instance literals, truncated bench copies) get a fresh kernel
+	// built from the current attribute slices.
+	build := func(k *sim.Kernel, data func() []sim.Vector) knn.Index {
+		if k == nil {
+			k = sim.NewKernel(data(), in.SimFunc)
+		}
 		switch kind {
 		case IndexSorted:
-			return knn.NewSorted(data, f)
+			return knn.NewSortedKernel(k)
 		case IndexKDTree:
-			return knn.NewKDTree(data, f)
+			return knn.NewKDTree(k.Vectors(), in.SimFunc)
 		case IndexIDistance:
-			m := len(data) / 64
+			m := k.Len() / 64
 			if m < 4 {
 				m = 4
 			}
-			return knn.NewIDistance(data, f, m)
+			return knn.NewIDistance(k.Vectors(), in.SimFunc, m)
 		case IndexVAFile:
-			return knn.NewVAFile(data, f, 6)
+			return knn.NewVAFileKernel(k, 6)
 		case IndexParallel:
-			return knn.NewParallel(data, f, chunkSize, 0)
+			return knn.NewParallelKernel(k, chunkSize, 0)
 		case IndexLSH:
-			return knn.NewLSH(data, f, 8, 4, 1)
+			return knn.NewLSHKernel(k, 8, 4, 1)
 		default:
-			return knn.NewChunked(data, f, chunkSize)
+			return knn.NewChunkedKernel(k, chunkSize)
 		}
 	}
 	return &vectorSource{
 		in:     in,
-		users:  build(in.UserAttrs(), in.SimFunc),
-		events: build(in.EventAttrs(), in.SimFunc),
+		users:  build(in.kernelOverUsers(), in.UserAttrs),
+		events: build(in.kernelOverEvents(), in.EventAttrs),
 	}
 }
 

@@ -1,8 +1,6 @@
 package knn
 
 import (
-	"sort"
-
 	"github.com/ebsnlab/geacc/internal/sim"
 )
 
@@ -12,11 +10,13 @@ import (
 // consume only a handful of neighbors — the overwhelmingly common case once
 // capacities saturate — therefore cost one O(n) scan instead of an
 // O(n log n) full sort, which is what keeps Greedy-GEACC near-linear in the
-// scalability experiment (Fig. 5a/5b).
+// scalability experiment (Fig. 5a/5b). Scans run through the batched
+// similarity kernel: sims are computed simBatchBlock rows at a time into a
+// per-stream buffer, then a closure-free bounded heap keeps the best k.
 type Chunked struct {
-	data      []sim.Vector
-	f         sim.Func
+	kernel    *sim.Kernel
 	firstSize int
+	auto      bool // firstSize was defaulted: scale it with the data size
 }
 
 // DefaultChunkSize is the number of neighbors materialized by a stream's
@@ -26,18 +26,39 @@ const DefaultChunkSize = 8
 // NewChunked builds a Chunked index over data using similarity f. chunkSize
 // controls the first refill; values < 1 select DefaultChunkSize.
 func NewChunked(data []sim.Vector, f sim.Func, chunkSize int) *Chunked {
+	return NewChunkedKernel(sim.NewKernel(data, f), chunkSize)
+}
+
+// NewChunkedKernel builds a Chunked index over an existing kernel, sharing
+// its flat store instead of rebuilding one. chunkSize < 1 selects
+// DefaultChunkSize.
+func NewChunkedKernel(k *sim.Kernel, chunkSize int) *Chunked {
 	if chunkSize < 1 {
-		chunkSize = DefaultChunkSize
+		// Auto mode: every refill is a full O(n·d) rescan, so on large data
+		// a slightly bigger first chunk (amortized top-k selection stays
+		// cheap) saves whole extra scans for streams that consume more than
+		// a handful of neighbors. The yielded sequence is identical for any
+		// chunk size — chunking only changes materialization granularity.
+		return &Chunked{kernel: k, firstSize: DefaultChunkSize, auto: true}
 	}
-	return &Chunked{data: data, f: f, firstSize: chunkSize}
+	return &Chunked{kernel: k, firstSize: chunkSize}
 }
 
 // Len returns the number of indexed items.
-func (ix *Chunked) Len() int { return len(ix.data) }
+func (ix *Chunked) Len() int { return ix.kernel.Len() }
 
 // Stream returns a lazily-refilled neighbor cursor for query.
 func (ix *Chunked) Stream(query sim.Vector) Stream {
-	return &chunkedStream{ix: ix, query: query, chunk: ix.firstSize}
+	first := ix.firstSize
+	if ix.auto {
+		// n/16 makes the common stream (a node consuming a few dozen
+		// neighbors) complete in one scan on large data; the chunk-size
+		// sweep in the solver benches bottoms out around this ratio.
+		if byN := ix.kernel.Len() / 16; byN > first {
+			first = byN
+		}
+	}
+	return &chunkedStream{ix: ix, query: query, chunk: first}
 }
 
 type chunkedStream struct {
@@ -45,8 +66,9 @@ type chunkedStream struct {
 	query sim.Vector
 	chunk int // size of the next refill
 
-	buf    []Pair // current chunk, sorted (sim desc, id asc)
-	pos    int    // cursor within buf
+	buf    []Pair    // current chunk, sorted (sim desc, id asc); reused across refills
+	simBuf []float64 // batch output buffer, one block long; reused across refills
+	pos    int       // cursor within buf
 	lastS  float64
 	lastID int
 	primed bool // false until the first refill
@@ -74,63 +96,53 @@ func (s *chunkedStream) Next() (int, float64, bool) {
 }
 
 // refill scans all items strictly after the cursor position in the global
-// order and keeps the best s.chunk of them using a bounded min-heap.
+// order and keeps the best s.chunk of them using a bounded min-heap. The
+// scan consumes batched similarities block by block; buf is reused as the
+// heap storage (it is fully consumed whenever refill runs).
 func (s *chunkedStream) refill() {
 	k := s.chunk
 	s.chunk *= 2
-	heap := make([]Pair, 0, k)      // min-heap on the (sim desc, id asc) order
-	worse := func(a, b Pair) bool { // a strictly after b in global order
-		return after(a.S, a.ID, b.S, b.ID)
+	n := s.ix.kernel.Len()
+	if s.simBuf == nil {
+		bl := simBatchBlock
+		if n < bl {
+			bl = n
+		}
+		s.simBuf = make([]float64, bl)
 	}
-	siftDown := func(i int) {
-		n := len(heap)
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < n && worse(heap[l], heap[m]) {
-				m = l
-			}
-			if r < n && worse(heap[r], heap[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
+	heap := s.buf[:0]
+	for lo := 0; lo < n; lo += simBatchBlock {
+		hi := lo + simBatchBlock
+		if hi > n {
+			hi = n
 		}
-	}
-	for id, v := range s.ix.data {
-		sv := s.ix.f(s.query, v)
-		if sv <= 0 {
-			continue
-		}
-		if s.primed && !after(sv, id, s.lastS, s.lastID) {
-			continue // already yielded or currently buffered region
-		}
-		c := Pair{ID: id, S: sv}
-		if len(heap) < k {
-			heap = append(heap, c)
-			if len(heap) == k {
-				for i := k/2 - 1; i >= 0; i-- {
-					siftDown(i)
+		s.ix.kernel.SimBatch(s.query, lo, hi, s.simBuf)
+		for j, sv := range s.simBuf[:hi-lo] {
+			if sv <= 0 {
+				continue
+			}
+			id := lo + j
+			if s.primed && !after(sv, id, s.lastS, s.lastID) {
+				continue // already yielded or currently buffered region
+			}
+			if len(heap) < k {
+				heap = append(heap, Pair{ID: id, S: sv})
+				if len(heap) == k {
+					heapifyPairs(heap)
 				}
+				continue
 			}
-			continue
-		}
-		// heap[0] is the worst retained candidate; replace it if c is better.
-		if worse(heap[0], c) {
-			heap[0] = c
-			siftDown(0)
+			// heap[0] is the worst retained candidate; replace it if better.
+			if after(heap[0].S, heap[0].ID, sv, id) {
+				heap[0] = Pair{ID: id, S: sv}
+				siftPairs(heap, 0, k)
+			}
 		}
 	}
 	if len(heap) < k {
-		for i := len(heap)/2 - 1; i >= 0; i-- {
-			siftDown(i)
-		}
 		s.done = true // the scan found fewer than k remaining items
 	}
-	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	sortBestFirst(heap)
 	s.buf = heap
 	s.pos = 0
 	if len(heap) > 0 {

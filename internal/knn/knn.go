@@ -27,8 +27,6 @@
 package knn
 
 import (
-	"sort"
-
 	"github.com/ebsnlab/geacc/internal/sim"
 )
 
@@ -57,45 +55,91 @@ func after(cs float64, cid int, ps float64, pid int) bool {
 	return cid > pid
 }
 
+// simBatchBlock is the scan granularity of the kernel-backed indexes: sims
+// are computed simBatchBlock rows at a time into a reusable buffer, keeping
+// the buffer hot in L1 while amortizing the batch call.
+const simBatchBlock = 512
+
+// siftPairs sifts ps[i] down within ps[:n] under the min-heap-on-"worse"
+// invariant: ps[0] is the pair that comes last in (sim desc, id asc) order.
+func siftPairs(ps []Pair, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && after(ps[l].S, ps[l].ID, ps[m].S, ps[m].ID) {
+			m = l
+		}
+		if r < n && after(ps[r].S, ps[r].ID, ps[m].S, ps[m].ID) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		ps[i], ps[m] = ps[m], ps[i]
+		i = m
+	}
+}
+
+// heapifyPairs establishes the siftPairs invariant over all of ps.
+func heapifyPairs(ps []Pair) {
+	for i := len(ps)/2 - 1; i >= 0; i-- {
+		siftPairs(ps, i, len(ps))
+	}
+}
+
+// sortBestFirst sorts ps into (sim desc, id asc) order in place with an
+// in-place heapsort over the after() order. Ids are distinct, so the order
+// is a strict total order and the result is the unique sorted sequence —
+// identical to what sort.Slice on the same comparator produced, but without
+// the comparator-closure and reflection overhead that dominated refill
+// profiles.
+func sortBestFirst(ps []Pair) {
+	heapifyPairs(ps)
+	for end := len(ps) - 1; end > 0; end-- {
+		// ps[0] is the worst remaining pair; retire it to the end.
+		ps[0], ps[end] = ps[end], ps[0]
+		siftPairs(ps, 0, end)
+	}
+}
+
 // Sorted is the reference Index: each Stream call computes and sorts all
 // similarities. O(n log n) per stream; exact and simple. Use it as the
 // testing oracle and for small instances.
 type Sorted struct {
-	data []sim.Vector
-	f    sim.Func
+	kernel *sim.Kernel
 }
 
 // NewSorted builds a Sorted index over data using similarity f.
 func NewSorted(data []sim.Vector, f sim.Func) *Sorted {
-	return &Sorted{data: data, f: f}
+	return NewSortedKernel(sim.NewKernel(data, f))
+}
+
+// NewSortedKernel builds a Sorted index over an existing kernel, sharing its
+// flat store instead of rebuilding one.
+func NewSortedKernel(k *sim.Kernel) *Sorted {
+	return &Sorted{kernel: k}
 }
 
 // Len returns the number of indexed items.
-func (ix *Sorted) Len() int { return len(ix.data) }
+func (ix *Sorted) Len() int { return ix.kernel.Len() }
 
 // Stream returns a fully-sorted neighbor cursor for query.
 func (ix *Sorted) Stream(query sim.Vector) Stream {
-	type cand struct {
-		id int
-		s  float64
-	}
-	cands := make([]cand, 0, len(ix.data))
-	for id, v := range ix.data {
-		if s := ix.f(query, v); s > 0 {
-			cands = append(cands, cand{id, s})
+	n := ix.kernel.Len()
+	sims := make([]float64, n)
+	ix.kernel.SimBatch(query, 0, n, sims)
+	cands := make([]Pair, 0, n)
+	for id, sv := range sims {
+		if sv > 0 {
+			cands = append(cands, Pair{ID: id, S: sv})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].s != cands[j].s {
-			return cands[i].s > cands[j].s
-		}
-		return cands[i].id < cands[j].id
-	})
+	sortBestFirst(cands)
 	ids := make([]int, len(cands))
 	ss := make([]float64, len(cands))
 	for i, c := range cands {
-		ids[i] = c.id
-		ss[i] = c.s
+		ids[i] = c.ID
+		ss[i] = c.S
 	}
 	return &sliceStream{ids: ids, sims: ss}
 }

@@ -3,7 +3,6 @@ package knn
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/ebsnlab/geacc/internal/sim"
 )
@@ -19,8 +18,7 @@ import (
 // matching. It trades arrangement quality for query time on very large user
 // sets; the ablation benchmarks quantify the trade.
 type LSH struct {
-	data []sim.Vector
-	f    sim.Func
+	kernel *sim.Kernel
 
 	tables []lshTable
 	w      float64
@@ -36,24 +34,31 @@ type lshTable struct {
 // projections each, seeded deterministically. Bucket width is derived from
 // the data's coordinate spread.
 func NewLSH(data []sim.Vector, f sim.Func, numTables, numHashes int, seed int64) *LSH {
+	return NewLSHKernel(sim.NewKernel(data, f), numTables, numHashes, seed)
+}
+
+// NewLSHKernel builds an LSH index over an existing kernel, sharing its flat
+// store instead of rebuilding one. Parameters behave as on NewLSH.
+func NewLSHKernel(k *sim.Kernel, numTables, numHashes int, seed int64) *LSH {
 	if numTables < 1 {
 		numTables = 4
 	}
 	if numHashes < 1 {
 		numHashes = 4
 	}
-	ix := &LSH{data: data, f: f}
-	if len(data) == 0 {
+	ix := &LSH{kernel: k}
+	n := k.Len()
+	if n == 0 {
 		return ix
 	}
-	d := len(data[0])
+	d := k.Dim()
 	rng := rand.New(rand.NewSource(seed))
 
 	// Width heuristic: a fraction of the average coordinate spread scaled
 	// by √d, so buckets hold a workable number of near points.
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range data {
-		for _, x := range v {
+	for id := 0; id < n; id++ {
+		for _, x := range k.Row(id) {
 			if x < lo {
 				lo = x
 			}
@@ -79,8 +84,8 @@ func NewLSH(data []sim.Vector, f sim.Func, numTables, numHashes int, seed int64)
 			tab.projs = append(tab.projs, proj)
 			tab.offsets = append(tab.offsets, rng.Float64()*ix.w)
 		}
-		for id, v := range data {
-			key := tab.key(v, ix.w)
+		for id := 0; id < n; id++ {
+			key := tab.key(k.Row(id), ix.w)
 			tab.buckets[key] = append(tab.buckets[key], id)
 		}
 		ix.tables[t] = tab
@@ -105,14 +110,15 @@ func (t *lshTable) key(v sim.Vector, w float64) uint64 {
 }
 
 // Len returns the number of indexed items.
-func (ix *LSH) Len() int { return len(ix.data) }
+func (ix *LSH) Len() int { return ix.kernel.Len() }
 
 // Stream returns the query's candidate set (union of its buckets), sorted
 // by exact similarity descending with ascending-id ties. Items outside the
-// buckets are not yielded — the approximation.
+// buckets are not yielded — the approximation. Bucket members are collected
+// first and their exact similarities computed in one batched gather.
 func (ix *LSH) Stream(query sim.Vector) Stream {
 	seen := map[int]bool{}
-	var cands []Pair
+	var ids []int
 	for t := range ix.tables {
 		key := ix.tables[t].key(query, ix.w)
 		for _, id := range ix.tables[t].buckets[key] {
@@ -120,17 +126,18 @@ func (ix *LSH) Stream(query sim.Vector) Stream {
 				continue
 			}
 			seen[id] = true
-			if s := ix.f(query, ix.data[id]); s > 0 {
-				cands = append(cands, Pair{ID: id, S: s})
-			}
+			ids = append(ids, id)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].S != cands[j].S {
-			return cands[i].S > cands[j].S
+	sims := make([]float64, len(ids))
+	ix.kernel.SimGather(query, ids, sims)
+	cands := make([]Pair, 0, len(ids))
+	for j, id := range ids {
+		if sims[j] > 0 {
+			cands = append(cands, Pair{ID: id, S: sims[j]})
 		}
-		return cands[i].ID < cands[j].ID
-	})
+	}
+	sortBestFirst(cands)
 	return &lshStream{cands: cands}
 }
 

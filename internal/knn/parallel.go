@@ -2,43 +2,60 @@ package knn
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"github.com/ebsnlab/geacc/internal/sim"
 )
 
 // Parallel wraps the Chunked strategy with a parallel refill: the linear
-// top-k scan is split across workers and the per-worker champions are
-// merged. Results are bit-identical to Chunked (selection happens after a
-// deterministic merge), so Greedy-GEACC's matching is unchanged; only the
-// wall-clock of the Fig. 5a/5b scalability regime (10⁵ users) improves on
-// multi-core machines.
+// top-k scan is split across workers, each worker consuming batched
+// similarities block by block over its contiguous shard, and the per-worker
+// champions are merged. Results are bit-identical to Chunked (selection
+// happens after a deterministic merge over a strict total order), so
+// Greedy-GEACC's matching is unchanged; only the wall-clock of the
+// Fig. 5a/5b scalability regime (10⁵ users) improves on multi-core machines.
 type Parallel struct {
-	data      []sim.Vector
-	f         sim.Func
+	kernel    *sim.Kernel
 	firstSize int
 	workers   int
+	auto      bool // firstSize was defaulted: scale it with the data size
 }
 
-// NewParallel builds a parallel index over data. workers <= 0 selects
-// GOMAXPROCS; chunkSize <= 0 selects DefaultChunkSize.
+// NewParallel builds a parallel index over data. workers <= 0 (the zero
+// value) selects runtime.GOMAXPROCS(0) at construction time, i.e. one
+// worker per schedulable CPU; chunkSize <= 0 selects DefaultChunkSize.
 func NewParallel(data []sim.Vector, f sim.Func, chunkSize, workers int) *Parallel {
+	return NewParallelKernel(sim.NewKernel(data, f), chunkSize, workers)
+}
+
+// NewParallelKernel builds a parallel index over an existing kernel, sharing
+// its flat store instead of rebuilding one. The chunkSize and workers zero
+// values behave as on NewParallel.
+func NewParallelKernel(k *sim.Kernel, chunkSize, workers int) *Parallel {
+	auto := false
 	if chunkSize < 1 {
 		chunkSize = DefaultChunkSize
+		auto = true
 	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Parallel{data: data, f: f, firstSize: chunkSize, workers: workers}
+	return &Parallel{kernel: k, firstSize: chunkSize, workers: workers, auto: auto}
 }
 
 // Len returns the number of indexed items.
-func (ix *Parallel) Len() int { return len(ix.data) }
+func (ix *Parallel) Len() int { return ix.kernel.Len() }
 
 // Stream returns a lazily-refilled neighbor cursor for query.
 func (ix *Parallel) Stream(query sim.Vector) Stream {
-	return &parallelStream{ix: ix, query: query, chunk: ix.firstSize}
+	first := ix.firstSize
+	if ix.auto {
+		// Same auto-scaling as Chunked so the two stay bit-identical twins.
+		if byN := ix.kernel.Len() / 16; byN > first {
+			first = byN
+		}
+	}
+	return &parallelStream{ix: ix, query: query, chunk: first}
 }
 
 type parallelStream struct {
@@ -72,7 +89,7 @@ func (s *parallelStream) Next() (int, float64, bool) {
 func (s *parallelStream) refill() {
 	k := s.chunk
 	s.chunk *= 2
-	n := len(s.ix.data)
+	n := s.ix.kernel.Len()
 	workers := s.ix.workers
 	if workers > n {
 		workers = n
@@ -90,64 +107,52 @@ func (s *parallelStream) refill() {
 			hi := n * (w + 1) / workers
 			// Bounded top-k selection over the shard (a min-heap on the
 			// global order), exactly like the sequential Chunked scan —
-			// never materializing more than k candidates.
+			// never materializing more than k candidates. Sims arrive
+			// through the batched kernel, one block at a time.
+			bl := simBatchBlock
+			if hi-lo < bl {
+				bl = hi - lo
+			}
+			simBuf := make([]float64, bl)
 			heap := make([]Pair, 0, k)
-			siftDown := func(i int) {
-				hn := len(heap)
-				for {
-					l, r := 2*i+1, 2*i+2
-					m := i
-					if l < hn && after(heap[l].S, heap[l].ID, heap[m].S, heap[m].ID) {
-						m = l
-					}
-					if r < hn && after(heap[r].S, heap[r].ID, heap[m].S, heap[m].ID) {
-						m = r
-					}
-					if m == i {
-						return
-					}
-					heap[i], heap[m] = heap[m], heap[i]
-					i = m
+			for blo := lo; blo < hi; blo += simBatchBlock {
+				bhi := blo + simBatchBlock
+				if bhi > hi {
+					bhi = hi
 				}
-			}
-			for id := lo; id < hi; id++ {
-				sv := s.ix.f(s.query, s.ix.data[id])
-				if sv <= 0 {
-					continue
-				}
-				if s.primed && !after(sv, id, s.lastS, s.lastID) {
-					continue
-				}
-				c := Pair{ID: id, S: sv}
-				if len(heap) < k {
-					heap = append(heap, c)
-					if len(heap) == k {
-						for i := k/2 - 1; i >= 0; i-- {
-							siftDown(i)
+				s.ix.kernel.SimBatch(s.query, blo, bhi, simBuf)
+				for j, sv := range simBuf[:bhi-blo] {
+					if sv <= 0 {
+						continue
+					}
+					id := blo + j
+					if s.primed && !after(sv, id, s.lastS, s.lastID) {
+						continue
+					}
+					if len(heap) < k {
+						heap = append(heap, Pair{ID: id, S: sv})
+						if len(heap) == k {
+							heapifyPairs(heap)
 						}
+						continue
 					}
-					continue
-				}
-				if after(heap[0].S, heap[0].ID, c.S, c.ID) {
-					heap[0] = c
-					siftDown(0)
+					if after(heap[0].S, heap[0].ID, sv, id) {
+						heap[0] = Pair{ID: id, S: sv}
+						siftPairs(heap, 0, k)
+					}
 				}
 			}
-			sort.Slice(heap, func(i, j int) bool {
-				return after(heap[j].S, heap[j].ID, heap[i].S, heap[i].ID)
-			})
+			sortBestFirst(heap)
 			shards[w] = heap
 		}(w)
 	}
 	wg.Wait()
 
-	var merged []Pair
+	merged := s.buf[:0]
 	for _, shard := range shards {
 		merged = append(merged, shard...)
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		return after(merged[j].S, merged[j].ID, merged[i].S, merged[i].ID)
-	})
+	sortBestFirst(merged)
 	if len(merged) < k {
 		s.done = true
 	} else {

@@ -16,12 +16,12 @@ import (
 // This in-memory reproduction keeps the two-phase structure: phase one scans
 // the approximation array (cache-friendly, bitsPerDim·d bits per item) and
 // computes each item's lower-bound distance; phase two verifies candidates
-// in lower-bound order, maintaining the exact-distance result heap. The
-// stream is exact: an item is yielded only once no unverified candidate's
-// lower bound precedes it.
+// in lower-bound order in batches — squared distances come from the kernel's
+// dot-product identity over the flat store — maintaining the exact-distance
+// result heap. The stream is exact: an item is yielded only once no
+// unverified candidate's lower bound precedes it.
 type VAFile struct {
-	data []sim.Vector
-	f    sim.Func
+	kernel *sim.Kernel
 
 	bitsPerDim uint
 	cells      int       // 1 << bitsPerDim
@@ -30,28 +30,42 @@ type VAFile struct {
 	dims       int
 }
 
+// vaVerifyBlock is how many candidates one verification step resolves in a
+// single batched distance gather. Verifying a few candidates beyond the
+// strictly necessary one is harmless — yields are still gated on exact
+// distances against the remaining lower bounds — and the batching repays
+// the extra work many times over.
+const vaVerifyBlock = 64
+
 // NewVAFile builds a VA-File with 2^bitsPerDim quantization cells per
 // dimension (bitsPerDim is clamped to [1, 8]). f must be a similarity that
 // strictly decreases with Euclidean distance.
 func NewVAFile(data []sim.Vector, f sim.Func, bitsPerDim uint) *VAFile {
+	return NewVAFileKernel(sim.NewKernel(data, f), bitsPerDim)
+}
+
+// NewVAFileKernel builds a VA-File over an existing kernel, sharing its flat
+// store instead of rebuilding one.
+func NewVAFileKernel(k *sim.Kernel, bitsPerDim uint) *VAFile {
 	if bitsPerDim < 1 {
 		bitsPerDim = 1
 	}
 	if bitsPerDim > 8 {
 		bitsPerDim = 8
 	}
-	va := &VAFile{data: data, f: f, bitsPerDim: bitsPerDim, cells: 1 << bitsPerDim}
-	if len(data) == 0 {
+	va := &VAFile{kernel: k, bitsPerDim: bitsPerDim, cells: 1 << bitsPerDim}
+	n := k.Len()
+	if n == 0 {
 		return va
 	}
-	va.dims = len(data[0])
+	va.dims = k.Dim()
 	// Equi-width partition over the observed range (the classic VA-File
 	// uses equi-populated slices per dimension; equi-width over the global
 	// range keeps one boundary array and is just as valid an approximation
 	// — bounds only need to be conservative).
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range data {
-		for _, x := range v {
+	for id := 0; id < n; id++ {
+		for _, x := range k.Row(id) {
 			if x < lo {
 				lo = x
 			}
@@ -67,9 +81,9 @@ func NewVAFile(data []sim.Vector, f sim.Func, bitsPerDim uint) *VAFile {
 	for i := range va.bounds {
 		va.bounds[i] = lo + (hi-lo)*float64(i)/float64(va.cells)
 	}
-	va.approx = make([]uint8, len(data)*va.dims)
-	for id, v := range data {
-		for dim, x := range v {
+	va.approx = make([]uint8, n*va.dims)
+	for id := 0; id < n; id++ {
+		for dim, x := range k.Row(id) {
 			va.approx[id*va.dims+dim] = uint8(va.cell(x))
 		}
 	}
@@ -90,12 +104,13 @@ func (va *VAFile) cell(x float64) int {
 }
 
 // Len returns the number of indexed items.
-func (va *VAFile) Len() int { return len(va.data) }
+func (va *VAFile) Len() int { return va.kernel.Len() }
 
 // Stream returns an exact neighbor cursor backed by the approximation scan.
 func (va *VAFile) Stream(query sim.Vector) Stream {
 	s := &vaStream{va: va, query: query}
-	if len(va.data) == 0 {
+	n := va.kernel.Len()
+	if n == 0 {
 		return s
 	}
 	// Phase one: lower-bound distance for every item from its approximation.
@@ -105,8 +120,8 @@ func (va *VAFile) Stream(query sim.Vector) Stream {
 	for dim, x := range query {
 		qCell[dim] = va.cell(x)
 	}
-	s.cands = make([]Pair, len(va.data))
-	for id := range va.data {
+	s.cands = make([]Pair, n)
+	for id := 0; id < n; id++ {
 		var lb float64
 		base := id * va.dims
 		for dim := 0; dim < va.dims; dim++ {
@@ -144,6 +159,10 @@ type vaStream struct {
 
 	// verified is a min-heap of exact candidates on (sqDist, id).
 	verified []vaCand
+
+	// Reusable batched-verification buffers, vaVerifyBlock long.
+	idBuf []int
+	sqBuf []float64
 }
 
 type vaCand struct {
@@ -157,15 +176,13 @@ func (s *vaStream) Next() (int, float64, bool) {
 		// the best verified candidate.
 		for s.next < len(s.cands) &&
 			(len(s.verified) == 0 || s.cands[s.next].S <= s.verified[0].sqDist) {
-			id := s.cands[s.next].ID
-			s.next++
-			s.push(vaCand{sqDist: sim.SquaredDistance(s.query, s.va.data[id]), id: id})
+			s.verifyBlock()
 		}
 		if len(s.verified) == 0 {
 			return 0, 0, false
 		}
 		best := s.pop()
-		sv := s.va.f(s.query, s.va.data[best.id])
+		sv := s.va.kernel.Sim(s.query, best.id)
 		if sv <= 0 {
 			// Exact distance order: everything later is also non-positive.
 			s.verified = nil
@@ -174,6 +191,28 @@ func (s *vaStream) Next() (int, float64, bool) {
 		}
 		return best.id, sv, true
 	}
+}
+
+// verifyBlock resolves the next block of candidates with one batched
+// squared-distance gather over the flat store.
+func (s *vaStream) verifyBlock() {
+	m := len(s.cands) - s.next
+	if m > vaVerifyBlock {
+		m = vaVerifyBlock
+	}
+	if s.idBuf == nil {
+		s.idBuf = make([]int, vaVerifyBlock)
+		s.sqBuf = make([]float64, vaVerifyBlock)
+	}
+	ids := s.idBuf[:m]
+	for j, c := range s.cands[s.next : s.next+m] {
+		ids[j] = c.ID
+	}
+	s.va.kernel.SqDistGather(s.query, ids, s.sqBuf[:m])
+	for j, id := range ids {
+		s.push(vaCand{sqDist: s.sqBuf[j], id: id})
+	}
+	s.next += m
 }
 
 func (s *vaStream) less(a, b vaCand) bool {

@@ -82,7 +82,11 @@ func Euclidean(d int, maxT float64) Func {
 		panic(fmt.Sprintf("sim: non-positive attribute bound %v", maxT))
 	}
 	norm := math.Sqrt(float64(d) * maxT * maxT)
+	sp := &funcSpec{kind: kindEuclidean, norm: norm}
 	return func(a, b Vector) float64 {
+		if answerProbe(a, sp) {
+			return 0
+		}
 		s := 1 - Distance(a, b)/norm
 		// Guard against tiny negative values from floating-point error when
 		// the two vectors are at opposite corners of the attribute space.
@@ -98,7 +102,11 @@ func Euclidean(d int, maxT float64) Func {
 // non-negative, so no information is lost by the clamp. Two zero vectors
 // have similarity 0 by convention.
 func Cosine() Func {
+	sp := &funcSpec{kind: kindCosine}
 	return func(a, b Vector) float64 {
+		if answerProbe(a, sp) {
+			return 0
+		}
 		if len(a) != len(b) {
 			panic(fmt.Sprintf("sim: dimension mismatch: %d vs %d", len(a), len(b)))
 		}
@@ -132,7 +140,11 @@ func Manhattan(d int, maxT float64) Func {
 		panic(fmt.Sprintf("sim: non-positive attribute bound %v", maxT))
 	}
 	norm := float64(d) * maxT
+	sp := &funcSpec{kind: kindManhattan, norm: norm}
 	return func(a, b Vector) float64 {
+		if answerProbe(a, sp) {
+			return 0
+		}
 		if len(a) != len(b) {
 			panic(fmt.Sprintf("sim: dimension mismatch: %d vs %d", len(a), len(b)))
 		}
