@@ -41,6 +41,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "root random seed")
 	csvPath := fs.String("csv", "", "also write raw points to this CSV file")
 	jsonPath := fs.String("json", "", "also write raw points to this JSON file")
+	decompose := fs.Bool("decompose", false,
+		"route every experiment solve through the decomposition layer (internal/decomp)")
 	solversJSON := fs.String("solvers-json", "",
 		"run the pinned solver benchmark set and write the BENCH_solvers.json snapshot here (ignores -run)")
 	comparePath := fs.String("compare", "",
@@ -123,7 +125,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	opt := bench.Options{Scale: *scale, Reps: *reps, Seed: *seed}
+	opt := bench.Options{Scale: *scale, Reps: *reps, Seed: *seed, Decompose: *decompose}
 	var allPoints []bench.Point
 	for _, e := range experiments {
 		logger.Info("running experiment", "id", e.ID, "scale", *scale, "reps", *reps)

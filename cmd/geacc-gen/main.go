@@ -8,6 +8,11 @@
 //	geacc-gen -kind synthetic -events 100 -users 1000 -cf 0.25 -out inst.json
 //	geacc-gen -kind meetup -city auckland -out auckland.json
 //	geacc-gen -kind scheduled -events 50 -users 500 -out day.json
+//	geacc-gen -kind clustered -communities 8 -events 100 -users 1000 -out comm.json
+//
+// The clustered kind produces multi-community instances (cross-community
+// similarity exactly 0, conflicts intra-community) — the workload shape for
+// geacc-solve -decompose.
 package main
 
 import (
@@ -31,7 +36,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geacc-gen", flag.ContinueOnError)
-	kind := fs.String("kind", "synthetic", "generator: synthetic, meetup, or scheduled")
+	kind := fs.String("kind", "synthetic", "generator: synthetic, meetup, scheduled, or clustered")
 	events := fs.Int("events", 100, "|V| (synthetic, scheduled)")
 	users := fs.Int("users", 1000, "|U| (synthetic, scheduled)")
 	dim := fs.Int("dim", 20, "attribute dimensionality d (synthetic, scheduled)")
@@ -41,6 +46,8 @@ func run(args []string, stdout io.Writer) error {
 	maxCu := fs.Int("max-cu", 4, "user capacity upper bound (synthetic, scheduled)")
 	cf := fs.Float64("cf", 0.25, "conflict density |CF|/(|V|(|V|-1)/2) (synthetic, meetup)")
 	city := fs.String("city", "auckland", "meetup city: vancouver, auckland, singapore")
+	communities := fs.Int("communities", 8, "number of attribute clusters k (clustered)")
+	blockDim := fs.Int("block-dim", 8, "per-cluster attribute block width (clustered)")
 	seed := fs.Int64("seed", 1, "random seed")
 	outPath := fs.String("out", "", "write the instance here instead of stdout")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -93,8 +100,20 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Seed = *seed
 		in, _, err = cfg.Generate()
 		simK, d, maxT = encoding.SimEuclidean, cfg.Dim, cfg.MaxT
+	case "clustered":
+		cfg := dataset.DefaultClustered()
+		cfg.NumEvents = *events
+		cfg.NumUsers = *users
+		cfg.Communities = *communities
+		cfg.BlockDim = *blockDim
+		cfg.EventCapMax = *maxCv
+		cfg.UserCapMax = *maxCu
+		cfg.CFRatio = *cf
+		cfg.Seed = *seed
+		in, err = cfg.Generate()
+		simK, d, maxT = encoding.SimCosine, cfg.Dim(), 1
 	default:
-		return fmt.Errorf("unknown kind %q (synthetic, meetup, scheduled)", *kind)
+		return fmt.Errorf("unknown kind %q (synthetic, meetup, scheduled, clustered)", *kind)
 	}
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //	geacc-solve -in instance.json -algo greedy
 //	geacc-solve -in instance.json -algo mincostflow -format csv -out matching.csv
 //	geacc-solve -in instance.json -algo exact -diag -trace-out trace.json
+//	geacc-solve -in clustered.json -algo greedy -decompose
 //
 // The output (JSON by default, CSV with -format csv) lists each assigned
 // (event, user) pair with its interestingness value, plus the MaxSum.
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
@@ -49,6 +51,8 @@ func run(args []string, stdout io.Writer) error {
 	sessionPath := fs.String("session", "", "also archive instance+matching+metadata (JSON) here")
 	seed := fs.Int64("seed", 1, "seed for the random baselines")
 	index := fs.String("index", "", "greedy NN index: chunked (default), sorted, kdtree, idistance, vafile, parallel, lsh")
+	decompose := fs.Bool("decompose", false, "shard along conflict/similarity components and solve them in parallel")
+	decompWorkers := fs.Int("decompose-workers", 0, "with -decompose, component worker pool size (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress the summary log line")
 	showReport := fs.Bool("report", false, "print an arrangement quality report to stderr")
 	skipBound := fs.Bool("no-bound", false, "with -report, skip the relaxation upper bound (faster)")
@@ -70,6 +74,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *diagOut != "" {
 		*diag = true
+	}
+	if *decompose && *algo == "portfolio" {
+		return fmt.Errorf("-decompose does not compose with -algo portfolio (the portfolio already parallelizes)")
+	}
+	if *decompose && *index != "" {
+		return fmt.Errorf("-decompose does not compose with -index (components use the default greedy index)")
 	}
 
 	f, err := os.Open(*inPath)
@@ -94,8 +104,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var m *core.Matching
+	var decompStats *core.DecompositionStats
 	start := time.Now()
-	if *algo == "portfolio" {
+	if *decompose {
+		m, decompStats, err = decomp.SolveContext(ctx, *algo, in,
+			decomp.Options{Workers: *decompWorkers, Seed: *seed})
+		if err != nil {
+			return err
+		}
+	} else if *algo == "portfolio" {
 		// Race the practical solvers concurrently and keep the best.
 		best, _, err := core.PortfolioCtx(ctx, in,
 			[]string{"greedy", "mincostflow", "random-v", "random-u"}, *seed)
@@ -126,6 +143,7 @@ func run(args []string, stdout io.Writer) error {
 	if *diag {
 		diagDoc = core.BuildDiagnostics(*algo, in, m, elapsed, rec.Spans(),
 			obs.DiffCounters(countersBefore, obs.Default().Counters()))
+		diagDoc.Decomposition = decompStats
 	}
 	if *sessionPath != "" {
 		sf, err := os.Create(*sessionPath)
@@ -172,6 +190,9 @@ func run(args []string, stdout io.Writer) error {
 			"algo", *algo, "events", in.NumEvents(), "users", in.NumUsers(),
 			"conflicts", conflictCount(in), "pairs", m.Size(),
 			"max_sum", m.MaxSum(), "seconds", elapsed.Seconds(),
+		}
+		if decompStats != nil {
+			attrs = append(attrs, "components", decompStats.Components)
 		}
 		if diagDoc != nil {
 			attrs = append(attrs, "gap", diagDoc.Gap,

@@ -34,12 +34,14 @@
 package geacc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"github.com/ebsnlab/geacc/internal/conflict"
 	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/sim"
 )
 
@@ -244,8 +246,17 @@ type SolveOptions struct {
 	Seed int64
 	// ExactNodeLimit bounds Prune-GEACC's search; 0 means unlimited. When
 	// the limit trips, Solve returns the best matching found along with
-	// ErrBudgetExceeded.
+	// ErrBudgetExceeded. Under Decompose the limit applies per component.
 	ExactNodeLimit int64
+	// Decompose shards the instance along the connected components of its
+	// conflict/similarity union graph and solves the components in parallel
+	// (see internal/decomp). The result is exact for Exact and keeps the
+	// paper approximation ratios for the other algorithms; on multi-community
+	// instances it is substantially faster than a monolithic solve.
+	Decompose bool
+	// DecomposeWorkers bounds the component worker pool; <= 0 means
+	// GOMAXPROCS. The matching is identical for any worker count.
+	DecomposeWorkers int
 }
 
 // ErrBudgetExceeded reports that Exact hit its node limit; the returned
@@ -259,6 +270,18 @@ func (p *Problem) Solve(algo Algorithm) (*Matching, error) {
 
 // SolveOpts runs the chosen algorithm.
 func (p *Problem) SolveOpts(algo Algorithm, opt SolveOptions) (*Matching, error) {
+	if opt.Decompose {
+		name := algo.String()
+		if _, err := core.LookupSolver(name); err != nil {
+			return nil, fmt.Errorf("geacc: unknown algorithm %d", int(algo))
+		}
+		m, _, err := decomp.SolveContext(context.Background(), name, p.in, decomp.Options{
+			Workers:        opt.DecomposeWorkers,
+			Seed:           opt.Seed,
+			ExactNodeLimit: opt.ExactNodeLimit,
+		})
+		return m, err
+	}
 	switch algo {
 	case Greedy:
 		return core.Greedy(p.in), nil

@@ -272,3 +272,47 @@ func TestProblemAccessors(t *testing.T) {
 		t.Error("conflicts wrong")
 	}
 }
+
+// TestSolveOptsDecompose: every public algorithm gives a feasible matching
+// through the decomposed path, and the exact MaxSum matches the monolithic
+// exact solve (the instance's zero-similarity column for user 0 of event 1
+// and its conflict edge give a nontrivial union graph).
+func TestSolveOptsDecompose(t *testing.T) {
+	p := table1Problem(t)
+	wholeExact, err := p.Solve(Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{Greedy, MinCostFlow, Exact, RandomV, RandomU} {
+		m, err := p.SolveOpts(algo, SolveOptions{Decompose: true, Seed: 11, DecomposeWorkers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("%v: infeasible decomposed matching: %v", algo, err)
+		}
+		if algo == Exact && math.Abs(m.MaxSum()-wholeExact.MaxSum()) > 1e-9 {
+			t.Errorf("decomposed exact MaxSum %v, want %v", m.MaxSum(), wholeExact.MaxSum())
+		}
+	}
+	if _, err := p.SolveOpts(Algorithm(99), SolveOptions{Decompose: true}); err == nil {
+		t.Error("unknown algorithm accepted under Decompose")
+	}
+}
+
+// TestSolveOptsDecomposeNodeLimit: a tripped per-component exact budget
+// surfaces ErrBudgetExceeded with a feasible best-so-far matching, matching
+// the monolithic contract.
+func TestSolveOptsDecomposeNodeLimit(t *testing.T) {
+	p := table1Problem(t)
+	m, err := p.SolveOpts(Exact, SolveOptions{Decompose: true, ExactNodeLimit: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if m == nil {
+		t.Fatal("no matching returned with the budget error")
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"fig4cv", "fig4cu", "fig4dist", "fig4real",
 		"fig5ab", "fig5cd", "fig6a", "fig6bcd",
 		"ablation-index", "ablation-resolution",
+		"decomp",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ebsnlab/geacc/internal/dataset"
+)
+
+// runDecompSweep compares monolithic and decomposed solves on clustered
+// instances while sweeping the community count: more communities means
+// smaller independent shards, so the decomposed curves should fall while
+// the monolithic ones stay flat — with identical MaxSum between the two
+// (the compositionality property, certified per point).
+func runDecompSweep(opt Options) ([]Point, error) {
+	opt = opt.withDefaults()
+	algos := []string{"greedy", "mincostflow"}
+	var points []Point
+	for xi, communities := range []int{2, 4, 8, 16, 32} {
+		perSeries := make(map[string][]Point)
+		for r := 0; r < opt.Reps; r++ {
+			cfg := dataset.DefaultClustered()
+			cfg.NumEvents = opt.scaleCard(cfg.NumEvents, 2*communities)
+			cfg.NumUsers = opt.scaleCard(cfg.NumUsers, 4*communities)
+			cfg.Communities = communities
+			cfg.Seed = opt.Seed + int64(xi)*1031 + int64(r)*41
+			in, err := cfg.Generate()
+			if err != nil {
+				return nil, fmt.Errorf("bench: decomp k=%d: %w", communities, err)
+			}
+			for _, algo := range algos {
+				maxSums := make(map[bool]float64)
+				for _, decompose := range []bool{false, true} {
+					runOpt := opt
+					runOpt.Decompose = decompose
+					m, sec, bytes, err := MeasureAlgo(runOpt, in, algo, cfg.Seed+int64(len(algo)))
+					if err != nil {
+						return nil, fmt.Errorf("bench: decomp k=%d algo=%s decompose=%v: %w",
+							communities, algo, decompose, err)
+					}
+					maxSums[decompose] = m.MaxSum()
+					series := algo
+					if decompose {
+						series += "-decomp"
+					}
+					perSeries[series] = append(perSeries[series], Point{
+						Experiment: "decomp", X: float64(communities), Algo: series,
+						MaxSum: m.MaxSum(), Seconds: sec, Bytes: bytes,
+					})
+				}
+				// The pair sets agree; only float summation order differs
+				// between a monolithic solve and a component-ordered merge,
+				// so anything beyond ulp-level disagreement is a real bug.
+				if drift := math.Abs(maxSums[true] - maxSums[false]); drift > 1e-9*math.Max(1, maxSums[false]) {
+					return nil, fmt.Errorf("bench: decomp k=%d algo=%s: decomposed MaxSum %v drifted from monolithic %v",
+						communities, algo, maxSums[true], maxSums[false])
+				}
+			}
+		}
+		for _, algo := range algos {
+			for _, suffix := range []string{"", "-decomp"} {
+				points = append(points, average(perSeries[algo+suffix]))
+			}
+		}
+	}
+	return points, nil
+}

@@ -159,6 +159,12 @@ func Registry() []Experiment {
 			XLabel: "|CF| / (|V|(|V|-1)/2)",
 			Run:    runAblationResolution,
 		},
+		{
+			ID:     "decomp",
+			Title:  "Decomposition: monolithic vs component-parallel solves on clustered instances",
+			XLabel: "communities",
+			Run:    runDecompSweep,
+		},
 	}
 }
 
@@ -211,11 +217,7 @@ func sweepSynthetic(id string, algos []string, xs []float64,
 				return nil, fmt.Errorf("bench: %s x=%v: %w", id, x, err)
 			}
 			for _, algo := range algos {
-				solve, err := core.LookupSolver(algo)
-				if err != nil {
-					return nil, err
-				}
-				m, sec, bytes, err := Measure(in, solve, cfg.Seed+int64(len(algo)))
+				m, sec, bytes, err := MeasureAlgo(opt, in, algo, cfg.Seed+int64(len(algo)))
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s x=%v algo=%s: %w", id, x, algo, err)
 				}
@@ -253,11 +255,7 @@ func runFig4Real(opt Options) ([]Point, error) {
 			// Scale shrinks the city via truncation when requested.
 			in = truncate(in, opt)
 			for _, algo := range compareAlgos {
-				solve, err := core.LookupSolver(algo)
-				if err != nil {
-					return nil, err
-				}
-				m, sec, bytes, err := Measure(in, solve, cfg.Seed+int64(len(algo)))
+				m, sec, bytes, err := MeasureAlgo(opt, in, algo, cfg.Seed+int64(len(algo)))
 				if err != nil {
 					return nil, fmt.Errorf("bench: fig4real ratio=%v algo=%s: %w", ratio, algo, err)
 				}

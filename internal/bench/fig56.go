@@ -80,14 +80,9 @@ func runFig5Effectiveness(opt Options) ([]Point, error) {
 				if algo == "exact" {
 					p, err = measureExact(in, core.ExactOptions{NodeLimit: exactSearchBudget})
 				} else {
-					var solve core.Solver
-					solve, err = core.LookupSolver(algo)
-					if err != nil {
-						return nil, err
-					}
 					var m *core.Matching
 					var sec, bytes float64
-					m, sec, bytes, err = Measure(in, solve, cfg.Seed+int64(len(algo)))
+					m, sec, bytes, err = MeasureAlgo(opt, in, algo, cfg.Seed+int64(len(algo)))
 					if err == nil {
 						p = Point{MaxSum: m.MaxSum(), Seconds: sec, Bytes: bytes}
 					}

@@ -38,8 +38,8 @@ func TestSolverBenchLargeShapesGated(t *testing.T) {
 			small++
 		}
 	}
-	if large != 4 {
-		t.Errorf("large cases = %d, want 4 (greedy+mincostflow at v50_u500, v100_u2000)", large)
+	if large != 8 {
+		t.Errorf("large cases = %d, want 8 (greedy+mincostflow at v50_u500, v100_u2000, and mono+decomp at clustered v100_u2000_c16)", large)
 	}
 	if small < 12 {
 		t.Errorf("small cases = %d, want >= 12", small)

@@ -5,12 +5,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/stats"
 )
 
@@ -44,6 +46,14 @@ type Options struct {
 	// geacc-bench CLI turns it on for snapshot generation, where the large
 	// shapes are the ones that actually exercise the batched kernel path.
 	LargeShapes bool
+	// Decompose routes every experiment solve through internal/decomp:
+	// shard along conflict/similarity components, solve in parallel, merge.
+	// The pinned RunSolverBench set ignores this — it pins monolithic and
+	// decomposed variants explicitly so the snapshot always compares both.
+	Decompose bool
+	// DecompWorkers bounds the component pool under Decompose; <= 0 means
+	// GOMAXPROCS.
+	DecompWorkers int
 }
 
 // withDefaults normalizes an Options value.
@@ -73,14 +83,42 @@ func (o Options) scaleCard(n, min int) int {
 // with its wall time and allocated bytes. The matching is validated; an
 // infeasible result is a bug worth failing loudly over.
 func Measure(in *core.Instance, solve core.Solver, seed int64) (*core.Matching, float64, float64, error) {
+	return measureErr(in, func(in *core.Instance, rng *rand.Rand) (*core.Matching, error) {
+		return solve(in, rng), nil
+	}, seed)
+}
+
+// MeasureAlgo resolves a registry solver by name and measures it, routing
+// the solve through the decomposition layer when opt.Decompose is set. The
+// experiments call this so `geacc-bench -decompose` re-runs any sweep in
+// decomposed form.
+func MeasureAlgo(opt Options, in *core.Instance, algo string, seed int64) (*core.Matching, float64, float64, error) {
+	if opt.Decompose {
+		return measureErr(in, func(in *core.Instance, rng *rand.Rand) (*core.Matching, error) {
+			m, _, err := decomp.SolveContext(context.Background(), algo, in,
+				decomp.Options{Workers: opt.DecompWorkers, Seed: rng.Int63()})
+			return m, err
+		}, seed)
+	}
+	solve, err := core.LookupSolver(algo)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return Measure(in, solve, seed)
+}
+
+func measureErr(in *core.Instance, solve func(*core.Instance, *rand.Rand) (*core.Matching, error), seed int64) (*core.Matching, float64, float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	m := solve(in, rng)
+	m, err := solve(in, rng)
 	elapsed := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	if err := core.Validate(in, m); err != nil {
 		return nil, 0, 0, fmt.Errorf("bench: infeasible matching: %w", err)
 	}

@@ -32,7 +32,22 @@ type solverBenchCase struct {
 	nv, nu      int
 	eventCapMax int
 	userCapMax  int
+	communities int  // > 0: clustered multi-community instance
+	decompose   bool // route the solve through internal/decomp
 	large       bool // only run when Options.LargeShapes is set
+}
+
+// name encodes the case for the snapshot: `greedy-decomp/v100_u2000_c16`.
+func (c solverBenchCase) name() string {
+	algo := c.algo
+	if c.decompose {
+		algo += "-decomp"
+	}
+	shape := fmt.Sprintf("v%d_u%d", c.nv, c.nu)
+	if c.communities > 0 {
+		shape += fmt.Sprintf("_c%d", c.communities)
+	}
+	return algo + "/" + shape
 }
 
 // solverBenchCases is the pinned set: a size sweep for the two
@@ -64,6 +79,25 @@ func solverBenchCases() []solverBenchCase {
 			eventCapMax: 3, userCapMax: 2,
 		})
 	}
+	// Decomposed vs monolithic on multi-community instances: the same
+	// pinned clustered workload solved whole and sharded, so the snapshot
+	// certifies both the speedup and zero MaxSum drift between the two.
+	for _, algo := range []string{"greedy", "mincostflow"} {
+		for _, dec := range []bool{false, true} {
+			cases = append(cases, solverBenchCase{
+				algo: algo, nv: 100, nu: 2000, communities: 16, decompose: dec,
+				eventCapMax: 10, userCapMax: 4, large: true,
+			})
+		}
+	}
+	// Exact stays feasible whole-instance because zero-similarity pairs are
+	// never branchable, but per-shard search is the shape users should run.
+	for _, dec := range []bool{false, true} {
+		cases = append(cases, solverBenchCase{
+			algo: "exact", nv: 12, nu: 24, communities: 4, decompose: dec,
+			eventCapMax: 3, userCapMax: 2,
+		})
+	}
 	return cases
 }
 
@@ -76,47 +110,58 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 	if opt.Reps < 1 {
 		opt.Reps = 3
 	}
-	solvers := core.Solvers()
 	var points []SolverBenchPoint
 	// The relaxed upper bound is a property of the instance, not the solver;
-	// cache it per shape so the sweep pays for each relaxation once.
-	ubCache := map[[2]int]float64{}
+	// cache it per shape (communities included — the plain and clustered
+	// v100_u2000 are different instances) so the sweep pays for each
+	// relaxation once.
+	ubCache := map[[3]int]float64{}
 	for _, c := range solverBenchCases() {
 		if c.large && !opt.LargeShapes {
 			continue
 		}
-		cfg := dataset.DefaultSynthetic()
-		cfg.NumEvents = c.nv
-		cfg.NumUsers = c.nu
-		cfg.EventCapMax = c.eventCapMax
-		cfg.UserCapMax = c.userCapMax
 		// The instance seed derives from the shape, not from opt.Seed:
 		// every run of `make bench-json` benchmarks the same instances.
-		cfg.Seed = int64(1000*c.nv + c.nu)
-		in, err := cfg.Generate()
-		if err != nil {
-			return nil, fmt.Errorf("bench: generate %s v=%d u=%d: %w", c.algo, c.nv, c.nu, err)
+		var in *core.Instance
+		var err error
+		if c.communities > 0 {
+			cfg := dataset.DefaultClustered()
+			cfg.NumEvents = c.nv
+			cfg.NumUsers = c.nu
+			cfg.Communities = c.communities
+			cfg.EventCapMax = c.eventCapMax
+			cfg.UserCapMax = c.userCapMax
+			cfg.Seed = int64(1000*c.nv + c.nu)
+			in, err = cfg.Generate()
+		} else {
+			cfg := dataset.DefaultSynthetic()
+			cfg.NumEvents = c.nv
+			cfg.NumUsers = c.nu
+			cfg.EventCapMax = c.eventCapMax
+			cfg.UserCapMax = c.userCapMax
+			cfg.Seed = int64(1000*c.nv + c.nu)
+			in, err = cfg.Generate()
 		}
-		solve, ok := solvers[c.algo]
-		if !ok {
-			return nil, fmt.Errorf("bench: unknown solver %q", c.algo)
+		if err != nil {
+			return nil, fmt.Errorf("bench: generate %s: %w", c.name(), err)
 		}
 		var best float64
 		var m *core.Matching
 		for rep := 0; rep < opt.Reps; rep++ {
-			mm, seconds, _, err := Measure(in, solve, opt.Seed+int64(rep))
+			mm, seconds, _, err := MeasureAlgo(Options{Decompose: c.decompose}, in, c.algo, opt.Seed+int64(rep))
 			if err != nil {
-				return nil, fmt.Errorf("bench: %s v=%d u=%d: %w", c.algo, c.nv, c.nu, err)
+				return nil, fmt.Errorf("bench: %s: %w", c.name(), err)
 			}
 			if m == nil || seconds < best {
 				best = seconds
 			}
 			m = mm
 		}
-		ub, ok := ubCache[[2]int{c.nv, c.nu}]
+		shapeKey := [3]int{c.nv, c.nu, c.communities}
+		ub, ok := ubCache[shapeKey]
 		if !ok {
 			ub = core.RelaxedUpperBound(in)
-			ubCache[[2]int{c.nv, c.nu}] = ub
+			ubCache[shapeKey] = ub
 		}
 		gap := 0.0
 		if ub > 0 {
@@ -125,7 +170,7 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 			}
 		}
 		points = append(points, SolverBenchPoint{
-			Name:    fmt.Sprintf("%s/v%d_u%d", c.algo, c.nv, c.nu),
+			Name:    c.name(),
 			NV:      c.nv,
 			NU:      c.nu,
 			NsPerOp: best * 1e9,

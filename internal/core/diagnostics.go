@@ -47,6 +47,28 @@ type Diagnostics struct {
 	// other goroutines bleed into each other's counts; on a busy server
 	// treat them as indicative, in a CLI run they are exact.
 	MetricDeltas map[string]int64 `json:"metric_deltas,omitempty"`
+
+	// Decomposition is present only when the solve ran through the
+	// connected-component decomposition layer (internal/decomp): how the
+	// instance sharded and how the component pool was sized.
+	Decomposition *DecompositionStats `json:"decomposition,omitempty"`
+}
+
+// DecompositionStats summarizes one decomposed solve: the component count
+// and the largest shard (the wall-clock floor of the parallel phase), the
+// stranded nodes that cannot appear in any matching (events with no
+// positive-similarity user in their component, and vice versa), the worker
+// pool size, and the union-graph construction time. Filled by
+// internal/decomp; zero-valued fields are meaningful (a fully connected
+// instance has Components == 1 and no stranded nodes).
+type DecompositionStats struct {
+	Components     int     `json:"components"`
+	LargestEvents  int     `json:"largest_events"`
+	LargestUsers   int     `json:"largest_users"`
+	StrandedEvents int     `json:"stranded_events,omitempty"`
+	StrandedUsers  int     `json:"stranded_users,omitempty"`
+	Workers        int     `json:"workers"`
+	BuildSeconds   float64 `json:"build_seconds"`
 }
 
 // PhaseTiming is one named wall-clock interval inside a solve.

@@ -154,6 +154,15 @@ func (in *Instance) kernelOverEvents() *sim.Kernel {
 	return nil
 }
 
+// SimilarityRow fills out[u] = Similarity(v, u) for every user, batching
+// through the kernel when available. len(out) must be NumUsers(). The
+// decomposition layer (internal/decomp) scans these rows to build the
+// positive-similarity union graph; values are bit-identical to per-pair
+// Similarity calls, so sub-instance matchings validate against the parent.
+func (in *Instance) SimilarityRow(v int, out []float64) {
+	in.similarityRow(v, out)
+}
+
 // similarityRow fills out[u] = Similarity(v, u) for every user, batching
 // through the kernel when available. len(out) must be NumUsers().
 func (in *Instance) similarityRow(v int, out []float64) {

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/ebsnlab/geacc/internal/conflict"
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/randx"
+	"github.com/ebsnlab/geacc/internal/sim"
+)
+
+// ClusteredConfig generates multi-community GEACC instances: the workload
+// shape of the decomposition layer (internal/decomp) and of multi-event
+// social-event scheduling. Entities are assigned round-robin to Communities
+// attribute clusters; each cluster owns a disjoint block of BlockDim
+// coordinates and every entity draws positive values only inside its
+// cluster's block. Under cosine similarity that makes cross-cluster
+// similarity exactly 0 (disjoint supports have zero dot product) and
+// intra-cluster similarity strictly positive, so the positive-similarity
+// graph splits into exactly one connected component per non-empty cluster.
+// Conflicts are sampled intra-cluster only, preserving the split.
+type ClusteredConfig struct {
+	NumEvents int // |V|; default 100
+	NumUsers  int // |U|; default 1000
+
+	Communities int // number of clusters k; default 8
+	BlockDim    int // per-cluster attribute block width; default 8
+
+	// Capacities: Uniform over [1, max], as in the TABLE III defaults.
+	EventCapMax int // default 50
+	UserCapMax  int // default 4
+
+	// CFRatio is the intra-cluster conflict density: per cluster,
+	// round(CFRatio · m·(m−1)/2) conflicting pairs over its m events.
+	CFRatio float64 // default 0.25
+
+	Seed int64
+}
+
+// DefaultClustered returns a balanced 8-community workload.
+func DefaultClustered() ClusteredConfig {
+	return ClusteredConfig{
+		NumEvents:   100,
+		NumUsers:    1000,
+		Communities: 8,
+		BlockDim:    8,
+		EventCapMax: 50,
+		UserCapMax:  4,
+		CFRatio:     0.25,
+		Seed:        1,
+	}
+}
+
+// Dim returns the total attribute dimensionality, Communities · BlockDim.
+func (c ClusteredConfig) Dim() int { return c.Communities * c.BlockDim }
+
+// Generate builds the clustered instance. The similarity function is
+// sim.Cosine(); round-robin assignment puts event i and user j in clusters
+// i mod k and j mod k respectively.
+func (c ClusteredConfig) Generate() (*core.Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.Source(c.Seed)
+	attrRng := randx.Sub(rng)
+	capRng := randx.Sub(rng)
+	cfRng := randx.Sub(rng)
+
+	dim := c.Dim()
+	// sampleAttrs draws one vector for cluster k: components of the
+	// cluster's block uniform in [0.1, 1] (bounded away from 0 so no
+	// intra-cluster pair degenerates to zero similarity), all other
+	// coordinates zero.
+	sampleAttrs := func(k int) sim.Vector {
+		v := make(sim.Vector, dim)
+		for i := k * c.BlockDim; i < (k+1)*c.BlockDim; i++ {
+			v[i] = 0.1 + 0.9*attrRng.Float64()
+		}
+		return v
+	}
+
+	events := make([]core.Event, c.NumEvents)
+	for i := range events {
+		events[i] = core.Event{
+			Attrs: sampleAttrs(i % c.Communities),
+			Cap:   randx.UniformInt(capRng, 1, c.EventCapMax),
+		}
+	}
+	users := make([]core.User, c.NumUsers)
+	for i := range users {
+		users[i] = core.User{
+			Attrs: sampleAttrs(i % c.Communities),
+			Cap:   randx.UniformInt(capRng, 1, c.UserCapMax),
+		}
+	}
+
+	// Intra-cluster conflicts: sample pairs inside each cluster's event
+	// list at the requested density, then map local pair indices back to
+	// event ids.
+	cf := conflict.New(c.NumEvents)
+	for k := 0; k < c.Communities; k++ {
+		var members []int
+		for v := k; v < c.NumEvents; v += c.Communities {
+			members = append(members, v)
+		}
+		total := len(members) * (len(members) - 1) / 2
+		want := int(c.CFRatio*float64(total) + 0.5)
+		for _, p := range randx.SamplePairs(cfRng, len(members), want) {
+			cf.Add(members[p[0]], members[p[1]])
+		}
+	}
+	return core.NewInstance(events, users, cf, sim.Cosine())
+}
+
+func (c ClusteredConfig) validate() error {
+	switch {
+	case c.NumEvents <= 0 || c.NumUsers <= 0:
+		return fmt.Errorf("dataset: non-positive cardinality |V|=%d |U|=%d", c.NumEvents, c.NumUsers)
+	case c.Communities < 1:
+		return fmt.Errorf("dataset: need at least one community, got %d", c.Communities)
+	case c.BlockDim < 1:
+		return fmt.Errorf("dataset: non-positive block width %d", c.BlockDim)
+	case c.EventCapMax < 1 || c.UserCapMax < 1:
+		return fmt.Errorf("dataset: capacity maxima must be >= 1")
+	case c.CFRatio < 0 || c.CFRatio > 1:
+		return fmt.Errorf("dataset: conflict ratio %v outside [0, 1]", c.CFRatio)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import "testing"
+
+func TestClusteredDefaults(t *testing.T) {
+	c := DefaultClustered()
+	in, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumEvents() != 100 || in.NumUsers() != 1000 {
+		t.Fatalf("sizes %d, %d", in.NumEvents(), in.NumUsers())
+	}
+	if got := len(in.Events[0].Attrs); got != c.Dim() {
+		t.Fatalf("d = %d, want %d", got, c.Dim())
+	}
+	for _, e := range in.Events {
+		if e.Cap < 1 || e.Cap > 50 {
+			t.Fatalf("event capacity %d outside [1, 50]", e.Cap)
+		}
+	}
+	for _, u := range in.Users {
+		if u.Cap < 1 || u.Cap > 4 {
+			t.Fatalf("user capacity %d outside [1, 4]", u.Cap)
+		}
+	}
+}
+
+// TestClusteredSimilaritySplit is the structural guarantee the decomposition
+// layer relies on: cross-community similarity is exactly 0 (disjoint
+// attribute supports under cosine), intra-community similarity strictly
+// positive.
+func TestClusteredSimilaritySplit(t *testing.T) {
+	c := ClusteredConfig{
+		NumEvents: 12, NumUsers: 36, Communities: 4, BlockDim: 3,
+		EventCapMax: 5, UserCapMax: 3, CFRatio: 0.3, Seed: 2,
+	}
+	in, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < in.NumEvents(); v++ {
+		for u := 0; u < in.NumUsers(); u++ {
+			s := in.Similarity(v, u)
+			if v%c.Communities == u%c.Communities {
+				if s <= 0 {
+					t.Fatalf("intra-community sim(%d, %d) = %v, want > 0", v, u, s)
+				}
+			} else if s != 0 {
+				t.Fatalf("cross-community sim(%d, %d) = %v, want exactly 0", v, u, s)
+			}
+		}
+	}
+}
+
+func TestClusteredConflictsIntraCommunityOnly(t *testing.T) {
+	c := ClusteredConfig{
+		NumEvents: 24, NumUsers: 24, Communities: 4, BlockDim: 2,
+		EventCapMax: 3, UserCapMax: 2, CFRatio: 0.5, Seed: 3,
+	}
+	in, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for v := 0; v < in.NumEvents(); v++ {
+		for _, w := range in.Conflicts.Neighbors(v) {
+			if v%c.Communities != w%c.Communities {
+				t.Fatalf("cross-community conflict (%d, %d)", v, w)
+			}
+			if v < w {
+				edges++
+			}
+		}
+	}
+	// 4 communities × 6 members × CFRatio 0.5 → round(0.5·15) = 8 pairs each.
+	if want := 4 * 8; edges != want {
+		t.Fatalf("got %d conflict edges, want %d", edges, want)
+	}
+}
+
+func TestClusteredDeterministicPerSeed(t *testing.T) {
+	c := DefaultClustered()
+	c.NumEvents, c.NumUsers = 16, 40
+	a, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Events {
+		for u := range a.Users {
+			if a.Similarity(v, u) != b.Similarity(v, u) {
+				t.Fatal("same seed, different similarities")
+			}
+		}
+		if a.Events[v].Cap != b.Events[v].Cap {
+			t.Fatal("same seed, different event capacities")
+		}
+	}
+	c.Seed = 99
+	d, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Events {
+		for i := range a.Events[v].Attrs {
+			if a.Events[v].Attrs[i] != d.Events[v].Attrs[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical attributes")
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	bad := []ClusteredConfig{
+		{NumEvents: 0, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1},
+		{NumEvents: 1, NumUsers: 1, Communities: 0, BlockDim: 1, EventCapMax: 1, UserCapMax: 1},
+		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 0, EventCapMax: 1, UserCapMax: 1},
+		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 0, UserCapMax: 1},
+		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1, CFRatio: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := c.Generate(); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// Decomposition-layer observability. decomp_components_total counts
+// components actually dispatched to a solver (stranded singletons never
+// reach the pool); the size histogram observes |V|+|U| per component. The
+// catalog entry lives in docs/OBSERVABILITY.md.
+var (
+	decompRuns          = obs.Default().Counter("geacc_decomp_runs_total")
+	decompComponents    = obs.Default().Counter("geacc_decomp_components_total")
+	decompComponentSize = obs.Default().Histogram("geacc_decomp_component_size", obs.DefaultSizeBuckets)
+	decompBuildSeconds  = obs.Default().Histogram("geacc_decomp_build_seconds", obs.DefaultLatencyBuckets)
+)
+
+// Options tunes a decomposed solve.
+type Options struct {
+	// Workers bounds the component worker pool; <= 0 means GOMAXPROCS(0).
+	// The pool never exceeds the component count. The merged matching is
+	// invariant to this value.
+	Workers int
+	// Seed drives the random baselines. Each component derives its own
+	// deterministic seed from Seed and its component index, so results do
+	// not depend on scheduling.
+	Seed int64
+	// ExactNodeLimit bounds Prune-GEACC's search per component; 0 means
+	// unlimited. When any component trips the limit, the merged matching is
+	// still feasible (each tripped component contributes its best-so-far)
+	// and core.ErrNodeLimit is returned alongside it.
+	ExactNodeLimit int64
+}
+
+// solveComponentFn is the per-component dispatch; tests swap it to inject
+// faults and observe scheduling.
+var solveComponentFn = solveComponent
+
+// solveComponent runs one registry solver on one shard. Everything except
+// the node-limited exact path goes through core.SolveContext, so the usual
+// per-algorithm solve metrics and solve/<algo> spans fire once per
+// component.
+func solveComponent(ctx context.Context, algo string, sub *core.Instance, rng *rand.Rand, nodeLimit int64) (*core.Matching, error) {
+	if algo == "exact" && nodeLimit > 0 {
+		m, _, err := core.ExactOpts(sub, core.ExactOptions{Ctx: ctx, NodeLimit: nodeLimit})
+		return m, err
+	}
+	return core.SolveContext(ctx, algo, sub, rng)
+}
+
+// componentRNG derives the deterministic per-component seed: a fixed odd
+// multiplier spreads consecutive root seeds apart so component streams from
+// different runs do not overlap trivially.
+func componentRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*0x9E3779B1 + int64(i)))
+}
+
+func normalizeWorkers(workers, components int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if components > 0 && workers > components {
+		workers = components
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// SolveContext decomposes in and solves it with the named registry solver:
+// the one-call form of DecomposeContext + Decomposition.SolveContext,
+// returning the component stats alongside the merged matching.
+func SolveContext(ctx context.Context, algo string, in *core.Instance, opt Options) (*core.Matching, *core.DecompositionStats, error) {
+	d, err := DecomposeContext(ctx, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := d.SolveContext(ctx, algo, opt)
+	if err != nil && !errors.Is(err, core.ErrNodeLimit) {
+		return nil, nil, err
+	}
+	return m, d.Stats(opt.Workers), err
+}
+
+// SolveContext runs the named registry solver over every component in a
+// bounded worker pool and merges the per-component matchings into one
+// parent-indexed matching.
+//
+// Determinism: components are numbered by first appearance, per-component
+// seeds derive from that number, and results are merged in component order
+// after all workers finish — so the matching (including its pair order and
+// float-summed MaxSum) is identical for any worker count.
+//
+// Cancellation: ctx is polled before each dispatch and inside every solver
+// (each component solve runs under ctx); the first cancellation or solver
+// error aborts the run and returns that error with a nil matching.
+// core.ErrNodeLimit is the one non-fatal error: tripped components keep
+// their best-so-far matching and the error is returned with the merge.
+func (d *Decomposition) SolveContext(ctx context.Context, algo string, opt Options) (*core.Matching, error) {
+	if _, err := core.LookupSolver(algo); err != nil {
+		return nil, err
+	}
+	decompRuns.Inc()
+	n := len(d.Components)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return core.NewMatching(), nil
+	}
+	workers := normalizeWorkers(opt.Workers, n)
+	rec := obs.RecorderFrom(ctx)
+	sp := rec.Start("decomp/solve").
+		Annotate("algo", algo).
+		Annotate("components", n).
+		Annotate("workers", workers)
+
+	results := make([]*core.Matching, n)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// After a fatal error (or cancellation) the remaining
+				// components drain without solving; their errs stay nil and
+				// the first fatal error, by component order, is reported.
+				if failed.Load() {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				c := d.Components[i]
+				csp := rec.Start("decomp/component").
+					Annotate("component", i).
+					Annotate("events", len(c.Events)).
+					Annotate("users", len(c.Users))
+				m, err := solveComponentFn(ctx, algo, c.Sub, componentRNG(opt.Seed, i), opt.ExactNodeLimit)
+				decompComponents.Inc()
+				decompComponentSize.Observe(float64(len(c.Events) + len(c.Users)))
+				results[i], errs[i] = m, err
+				if err != nil && !errors.Is(err, core.ErrNodeLimit) {
+					failed.Store(true)
+					csp.Annotate("error", err.Error()).End()
+					continue
+				}
+				csp.Annotate("pairs", m.Size()).End()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var budgetErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, core.ErrNodeLimit):
+			budgetErr = err
+		default:
+			sp.Annotate("error", err.Error()).End()
+			return nil, errs[i]
+		}
+	}
+
+	// Merge in component order: sub indices map back through the
+	// component's parent-index slices. Similarities are bit-identical to
+	// the parent's, so the merged matching validates against it.
+	merged := core.NewMatching()
+	for i, c := range d.Components {
+		if results[i] == nil {
+			continue
+		}
+		for _, p := range results[i].Pairs() {
+			merged.Add(c.Events[p.V], c.Users[p.U], p.Sim)
+		}
+	}
+	sp.Annotate("pairs", merged.Size()).Annotate("max_sum", merged.MaxSum()).End()
+	return merged, budgetErr
+}

@@ -23,6 +23,19 @@ var DefaultLatencyBuckets = []float64{
 	10, 30, 60,
 }
 
+// DefaultSizeBuckets are the histogram bounds for count-valued
+// observations (decomposition component sizes, batch widths): roughly
+// logarithmic from single nodes to the million-user instances the roadmap
+// targets.
+var DefaultSizeBuckets = []float64{
+	1, 2, 5,
+	10, 25, 50,
+	100, 250, 500,
+	1000, 2500, 5000,
+	10000, 25000, 50000,
+	100000, 250000, 1000000,
+}
+
 // Counter is a monotonically increasing metric. The zero value is ready to
 // use; counters obtained from a Registry are shared by name.
 type Counter struct {

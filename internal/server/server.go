@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
@@ -116,7 +117,18 @@ type SolveResponse struct {
 // wantDiag reports whether the request opted into the per-solve
 // diagnostics artifact (instance shape, optimality gap, phase timings).
 func wantDiag(r *http.Request) bool {
-	switch r.URL.Query().Get("diag") {
+	return boolParam(r, "diag")
+}
+
+// wantDecompose reports whether the request asked for the decomposed solve
+// path (?decompose=1): shard along conflict/similarity components, solve in
+// parallel (pool size via ?workers=n), merge.
+func wantDecompose(r *http.Request) bool {
+	return boolParam(r, "decompose")
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
 	case "1", "true", "yes":
 		return true
 	}
@@ -142,6 +154,20 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	diag := wantDiag(r)
+	decompose := wantDecompose(r)
+	workers := 0
+	if s := r.URL.Query().Get("workers"); s != "" {
+		workers, err = strconv.Atoi(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
+			return
+		}
+	}
+	if decompose && algo == "portfolio" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("server: decompose does not compose with the portfolio (it already parallelizes)"))
+		return
+	}
 
 	// The request context travels into the solver: a client disconnect
 	// cancels long MinCostFlow sweeps and exact searches instead of
@@ -175,20 +201,45 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, lerr)
 			return
 		}
-		if algo == "exact" && int64(in.NumEvents())*int64(in.NumUsers()) > 200 {
-			writeError(w, http.StatusUnprocessableEntity,
-				fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
-			return
-		}
-		rng := rand.New(rand.NewSource(seed))
-		if diag {
-			m, d, err = core.SolveDiagnostics(ctx, algo, in, rng)
+		if decompose {
+			dd, derr := decomp.DecomposeContext(ctx, in)
+			if derr != nil {
+				writeError(w, solveErrorStatus(derr, http.StatusInternalServerError), derr)
+				return
+			}
+			// The exact budget applies per shard: decomposition is exactly
+			// what makes larger instances exact-solvable over HTTP.
+			if algo == "exact" && dd.MaxComponentArea() > 200 {
+				writeError(w, http.StatusUnprocessableEntity,
+					fmt.Errorf("server: exact search is limited to component |V|·|U| <= 200 over HTTP; use the CLI"))
+				return
+			}
+			m, err = dd.SolveContext(ctx, algo, decomp.Options{Workers: workers, Seed: seed})
+			if err != nil {
+				writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+				return
+			}
+			if diag {
+				d = core.BuildDiagnostics(algo, in, m, time.Since(start), rec.Spans(),
+					obs.DiffCounters(countersBefore, obs.Default().Counters()))
+				d.Decomposition = dd.Stats(workers)
+			}
 		} else {
-			m, err = core.SolveContext(ctx, algo, in, rng)
-		}
-		if err != nil {
-			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
-			return
+			if algo == "exact" && int64(in.NumEvents())*int64(in.NumUsers()) > 200 {
+				writeError(w, http.StatusUnprocessableEntity,
+					fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			if diag {
+				m, d, err = core.SolveDiagnostics(ctx, algo, in, rng)
+			} else {
+				m, err = core.SolveContext(ctx, algo, in, rng)
+			}
+			if err != nil {
+				writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+				return
+			}
 		}
 	}
 	elapsed := time.Since(start).Seconds()
