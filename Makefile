@@ -5,11 +5,11 @@ GO        ?= go
 PKGS      := ./...
 # Packages whose concurrency is exercised hardest; `make race` runs them
 # under the race detector (the full suite under -race is `make race-all`).
-RACE_PKGS := ./internal/obs ./internal/server ./internal/core
+RACE_PKGS := ./internal/obs ./internal/server ./internal/core ./internal/decomp ./internal/store
 BENCH     ?= .
 BENCH_FLAGS := -benchmem -benchtime=1x
 
-.PHONY: build test race race-all vet bench bench-json bench-compare cover clean run-server help
+.PHONY: build test test-service race race-all vet bench bench-json bench-compare cover clean run-server help
 
 ## build: compile every package and the command-line tools
 build:
@@ -18,6 +18,10 @@ build:
 ## test: run the full test suite (tier-1 gate, with go vet's default checks)
 test:
 	$(GO) test $(PKGS)
+
+## test-service: service crash-recovery e2e (build binary, stream deltas, kill -9, restart, verify)
+test-service:
+	GEACC_E2E=1 $(GO) test -run TestServiceE2E -v ./cmd/geacc-server
 
 ## race: race-detector pass over the concurrency-heavy packages
 race:

@@ -1,17 +1,29 @@
-// Command geacc-server serves the GEACC solvers over JSON/HTTP.
+// Command geacc-server serves the GEACC solvers over JSON/HTTP: stateless
+// one-shot solves at /solve plus long-lived named arrangement instances at
+// /instances (create once, stream arrival/cancellation deltas, rebalance
+// incrementally).
 //
 // Usage:
 //
-//	geacc-server -addr :8080 [-debug-addr :6060] [-log-format json]
+//	geacc-server -addr :8080 [-data-dir ./data] [-snapshot-every 256]
+//	             [-debug-addr :6060] [-log-format json]
 //
 //	curl localhost:8080/algorithms
 //	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy'
-//	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy&diag=1'
-//	curl -XPOST --data-binary @instance.json 'localhost:8080/trace?format=chrome'
-//	curl -XPOST --data-binary @session.json localhost:8080/validate
+//	curl -XPOST -d '{"id":"prod","sim":"euclidean","dim":2,"max_t":10}' localhost:8080/instances
+//	curl -XPOST -d '{"attrs":[1,2],"cap":3}' localhost:8080/instances/prod/events
+//	curl -XPOST -d '{"attrs":[1,1],"cap":1}' localhost:8080/instances/prod/users
+//	curl -XPOST 'localhost:8080/instances/prod/rebalance?scope=dirty'
+//	curl localhost:8080/instances/prod
 //	curl localhost:8080/metrics                # Prometheus text exposition
 //	curl localhost:8080/debug/vars             # metrics (expvar, always on)
 //	curl localhost:6060/debug/pprof/           # profiles (only with -debug-addr)
+//
+// With -data-dir, every instance delta is write-ahead logged (and
+// periodically snapshotted) under that directory, and a restarted server
+// replays each instance to its exact pre-crash arrangement before
+// listening. Without it, instances are ephemeral. See docs/SERVICE.md for
+// the full API and file-format contract.
 //
 // The main listener always serves the solver endpoints plus the metric
 // surfaces: Prometheus text at /metrics and expvar JSON at /debug/vars.
@@ -40,12 +52,26 @@ func main() {
 		"optional diagnostics listen address (expvar + pprof); empty disables")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
+	dataDir := flag.String("data-dir", "",
+		"persist named instances (op logs + snapshots) under this directory; empty keeps them in memory")
+	snapshotEvery := flag.Int("snapshot-every", server.DefaultSnapshotEvery,
+		"with -data-dir, fold an instance's op log into a snapshot every N ops")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		obs.MustLogger(os.Stderr).Error("bad logging flags", "error", err)
 		os.Exit(2)
+	}
+
+	handler, err := server.NewWithConfig(server.Config{
+		Logger:        logger,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapshotEvery,
+	})
+	if err != nil {
+		logger.Error("startup replay failed", "error", err)
+		os.Exit(1)
 	}
 
 	if *debugAddr != "" {
@@ -64,7 +90,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithLogger(logger),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      10 * time.Minute, // min-cost flow on large instances is slow

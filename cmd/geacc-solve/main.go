@@ -8,6 +8,7 @@
 //	geacc-solve -in instance.json -algo mincostflow -format csv -out matching.csv
 //	geacc-solve -in instance.json -algo exact -diag -trace-out trace.json
 //	geacc-solve -in clustered.json -algo greedy -decompose
+//	geacc-solve -replay ./data/prod            # rebuild a server instance offline
 //
 // The output (JSON by default, CSV with -format csv) lists each assigned
 // (event, user) pair with its interestingness value, plus the MaxSum.
@@ -33,6 +34,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
+	"github.com/ebsnlab/geacc/internal/store"
 )
 
 func main() {
@@ -44,7 +46,9 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geacc-solve", flag.ContinueOnError)
-	inPath := fs.String("in", "", "instance JSON file (required)")
+	inPath := fs.String("in", "", "instance JSON file (required unless -replay)")
+	replayDir := fs.String("replay", "",
+		"replay a geacc-server instance directory (meta.json + ops.jsonl + snapshot.json) offline and print its arrangement")
 	algo := fs.String("algo", "greedy", fmt.Sprintf("algorithm: %v or portfolio", core.SolverNames()))
 	format := fs.String("format", "json", "output format: json or csv")
 	outPath := fs.String("out", "", "write the matching here instead of stdout")
@@ -64,13 +68,19 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *inPath == "" {
+	if *inPath == "" && *replayDir == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -in")
+		return fmt.Errorf("missing -in (or -replay)")
+	}
+	if *inPath != "" && *replayDir != "" {
+		return fmt.Errorf("-in and -replay are mutually exclusive")
 	}
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
+	}
+	if *replayDir != "" {
+		return runReplay(*replayDir, *format, *outPath, *quiet, stdout, logger)
 	}
 	if *diagOut != "" {
 		*diag = true
@@ -216,6 +226,54 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(os.Stderr, rep)
+	}
+	return nil
+}
+
+// runReplay rebuilds a geacc-server instance offline from its on-disk
+// directory — snapshot plus op log, exactly the server's boot path but
+// read-only (a torn final log line is skipped, never truncated) — and
+// prints the recovered arrangement. This is the audit tool: it answers
+// "what would the server serve for this instance?" without starting one.
+func runReplay(dir, format, outPath string, quiet bool, stdout io.Writer, logger *slog.Logger) error {
+	state, err := store.LoadDir(context.Background(), dir)
+	if err != nil {
+		return err
+	}
+	in, m, err := state.Arranger.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := core.Validate(in, m); err != nil {
+		return fmt.Errorf("replayed arrangement is infeasible (corrupt log?): %w", err)
+	}
+	out := stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	switch format {
+	case "json":
+		err = encoding.EncodeMatching(out, m)
+	case "csv":
+		err = encoding.WriteMatchingCSV(out, m)
+	default:
+		return fmt.Errorf("unknown format %q (json or csv)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		logger.Info("replay",
+			"id", state.Meta.ID, "seq", state.Seq, "snapshot_seq", state.SnapshotSeq,
+			"replayed_ops", state.ReplayedOps,
+			"events", state.Arranger.NumEvents(), "users", state.Arranger.NumUsers(),
+			"pairs", m.Size(), "max_sum", m.MaxSum(),
+			"dirty_events", len(state.DirtyEvents), "dirty_users", len(state.DirtyUsers))
 	}
 	return nil
 }

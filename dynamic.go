@@ -11,10 +11,16 @@ import (
 // state; Rebalance re-solves with batch Greedy-GEACC and adopts the result
 // when it improves. Every operation preserves feasibility.
 //
-//	arr, _ := geacc.NewArranger(geacc.EuclideanSimilarity(2, 10))
-//	v, _ := arr.AddEvent(geacc.Event{Attrs: []float64{1, 2}, Cap: 20}, nil)
-//	u, _ := arr.AddUser(geacc.User{Attrs: []float64{1, 3}, Cap: 2})
+//	arr, err := geacc.NewArranger(geacc.EuclideanSimilarity(2, 10))
+//	if err != nil {
+//		// Only a nil similarity function fails.
+//	}
+//	v, err := arr.AddEvent(geacc.Event{Attrs: []float64{1, 2}, Cap: 20}, nil)
+//	u, err := arr.AddUser(geacc.User{Attrs: []float64{1, 3}, Cap: 2})
 //	fmt.Println(arr.UserEvents(u)) // [v] if feasible
+//
+// See ExampleNewArranger for a runnable version. geacc-server exposes the
+// same lifecycle over HTTP as named persistent instances (docs/SERVICE.md).
 type Arranger = core.Arranger
 
 // SimilarityFunc is a pluggable similarity for NewArranger; see

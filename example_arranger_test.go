@@ -1,0 +1,56 @@
+package geacc_test
+
+import (
+	"fmt"
+
+	geacc "github.com/ebsnlab/geacc"
+)
+
+// ExampleNewArranger walks the online-arrangement lifecycle: arrivals are
+// placed greedily the moment they land, a cancellation releases and
+// re-places the affected users, and Rebalance adopts a batch re-solve when
+// it improves the arrangement.
+func ExampleNewArranger() {
+	arr, err := geacc.NewArranger(geacc.EuclideanSimilarity(2, 10))
+	if err != nil {
+		panic(err) // only a nil similarity function fails
+	}
+
+	// Two events arrive; the second conflicts with the first (same venue,
+	// overlapping time), so no user may attend both.
+	jazz, err := arr.AddEvent(geacc.Event{Attrs: []float64{1, 2}, Cap: 2}, nil)
+	if err != nil {
+		panic(err)
+	}
+	salsa, err := arr.AddEvent(geacc.Event{Attrs: []float64{2, 1}, Cap: 1}, []int{jazz})
+	if err != nil {
+		panic(err)
+	}
+
+	// Users are placed on arrival against whatever is live right now.
+	alice, err := arr.AddUser(geacc.User{Attrs: []float64{1, 1}, Cap: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("alice attends", len(arr.UserEvents(alice)), "event (conflict blocks the second)")
+
+	// The jazz night is cancelled: alice is released and re-placed.
+	if err := arr.CancelEvent(jazz); err != nil {
+		panic(err)
+	}
+	fmt.Println("after cancellation, alice attends event", arr.UserEvents(alice)[0])
+
+	// Rebalance re-solves the current snapshot and reports the improvement
+	// (zero here: the incremental placement is already optimal).
+	gain, err := arr.Rebalance()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rebalance gain %.1f, maxsum %.1f\n", gain, arr.MaxSum())
+
+	_ = salsa
+	// Output:
+	// alice attends 1 event (conflict blocks the second)
+	// after cancellation, alice attends event 1
+	// rebalance gain 0.0, maxsum 0.9
+}

@@ -43,6 +43,76 @@ func NewArranger(f sim.Func) (*Arranger, error) {
 	}, nil
 }
 
+// RestoreArranger rebuilds an arranger from a Snapshot pair: the inverse
+// used by the persistent instance store (internal/store) to resume a
+// long-lived arrangement after a restart. The instance must be a vector
+// instance (SimFunc != nil) — matrix instances cannot grow online — and m
+// must be feasible for it. The restored arranger reproduces the donor's
+// behavior exactly: events, users, conflicts, the matching (in m's
+// insertion order, so MaxSum keeps its accumulation order), and the
+// remaining capacities derived from caps minus matched load.
+func RestoreArranger(in *Instance, m *Matching) (*Arranger, error) {
+	if in.SimFunc == nil {
+		return nil, fmt.Errorf("core: restore needs a vector instance (matrix instances cannot grow online)")
+	}
+	if err := Validate(in, m); err != nil {
+		return nil, fmt.Errorf("core: restore snapshot is infeasible: %w", err)
+	}
+	a := &Arranger{
+		simFn:     in.SimFunc,
+		events:    append([]Event(nil), in.Events...),
+		users:     append([]User(nil), in.Users...),
+		conflicts: make(map[int]map[int]bool),
+		matching:  m.Clone(),
+	}
+	if in.Conflicts != nil {
+		for _, p := range in.Conflicts.Pairs() {
+			i, j := p[0], p[1]
+			if a.conflicts[i] == nil {
+				a.conflicts[i] = make(map[int]bool)
+			}
+			if a.conflicts[j] == nil {
+				a.conflicts[j] = make(map[int]bool)
+			}
+			a.conflicts[i][j] = true
+			a.conflicts[j][i] = true
+		}
+	}
+	a.recomputeRemaining()
+	return a, nil
+}
+
+// recomputeRemaining rederives the remaining capacities from the declared
+// caps minus the current matching's load.
+func (a *Arranger) recomputeRemaining() {
+	a.remCapV = make([]int, len(a.events))
+	for v := range a.events {
+		a.remCapV[v] = a.events[v].Cap - len(a.matching.EventUsers(v))
+	}
+	a.remCapU = make([]int, len(a.users))
+	for u := range a.users {
+		a.remCapU[u] = a.users[u].Cap - len(a.matching.UserEvents(u))
+	}
+}
+
+// SetMatching replaces the current arrangement with m — the adoption hook
+// for externally computed re-solves (the service's component-scoped
+// rebalance). m is validated against the current snapshot before anything
+// changes; on success the arranger keeps a clone (preserving m's insertion
+// order) and rederives the remaining capacities.
+func (a *Arranger) SetMatching(m *Matching) error {
+	in, _, err := a.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := Validate(in, m); err != nil {
+		return fmt.Errorf("core: refusing infeasible matching: %w", err)
+	}
+	a.matching = m.Clone()
+	a.recomputeRemaining()
+	return nil
+}
+
 // NumEvents returns the number of events ever added (including cancelled
 // ones, whose capacity is zeroed).
 func (a *Arranger) NumEvents() int { return len(a.events) }
@@ -58,6 +128,9 @@ func (a *Arranger) Matching() *Matching { return a.matching.Clone() }
 
 // UserEvents returns the events user u currently attends.
 func (a *Arranger) UserEvents(u int) []int { return a.matching.UserEvents(u) }
+
+// EventUsers returns the users currently arranged to event v.
+func (a *Arranger) EventUsers(v int) []int { return a.matching.EventUsers(v) }
 
 // sim returns the similarity between event v and user u.
 func (a *Arranger) sim(v, u int) float64 {
@@ -181,7 +254,7 @@ func (a *Arranger) recruitForEvent(v int) {
 	}
 	var cands []cand
 	for u := range a.users {
-		if a.remCapU[u] == 0 {
+		if a.remCapU[u] == 0 || a.matching.Contains(v, u) {
 			continue
 		}
 		if s := a.sim(v, u); s > 0 {
@@ -280,12 +353,6 @@ func (a *Arranger) Rebalance() (float64, error) {
 		return 0, nil
 	}
 	a.matching = fresh
-	// Recompute remaining capacities from the adopted matching.
-	for v := range a.events {
-		a.remCapV[v] = a.events[v].Cap - len(fresh.EventUsers(v))
-	}
-	for u := range a.users {
-		a.remCapU[u] = a.users[u].Cap - len(fresh.UserEvents(u))
-	}
+	a.recomputeRemaining()
 	return gain, nil
 }

@@ -3,6 +3,7 @@ package decomp
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -106,16 +107,71 @@ func SolveContext(ctx context.Context, algo string, in *core.Instance, opt Optio
 // core.ErrNodeLimit is the one non-fatal error: tripped components keep
 // their best-so-far matching and the error is returned with the merge.
 func (d *Decomposition) SolveContext(ctx context.Context, algo string, opt Options) (*core.Matching, error) {
-	if _, err := core.LookupSolver(algo); err != nil {
+	n := len(d.Components)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	results, budgetErr, err := d.solveSet(ctx, algo, ids, opt)
+	if err != nil {
 		return nil, err
+	}
+	// Merge in component order: sub indices map back through the
+	// component's parent-index slices. Similarities are bit-identical to
+	// the parent's, so the merged matching validates against it.
+	merged := core.NewMatching()
+	for i, c := range d.Components {
+		if results[i] == nil {
+			continue
+		}
+		for _, p := range results[i].Pairs() {
+			merged.Add(c.Events[p.V], c.Users[p.U], p.Sim)
+		}
+	}
+	return merged, budgetErr
+}
+
+// SolveSubset runs the named registry solver over just the components named
+// by ids (global component indices, as returned by DirtyComponents) and
+// returns one sub-instance matching per solved component, keyed by
+// component id. Seeds derive from the global component index, so a subset
+// solve of component i is bit-identical to that component's share of a full
+// SolveContext run. This is the incremental path: a delta that touched one
+// component re-solves one component, not the instance.
+func (d *Decomposition) SolveSubset(ctx context.Context, algo string, ids []int, opt Options) (map[int]*core.Matching, error) {
+	for _, id := range ids {
+		if id < 0 || id >= len(d.Components) {
+			return nil, fmt.Errorf("decomp: component id %d out of range [0, %d)", id, len(d.Components))
+		}
+	}
+	results, budgetErr, err := d.solveSet(ctx, algo, ids, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*core.Matching, len(ids))
+	for id, m := range results {
+		if m != nil {
+			out[id] = m
+		}
+	}
+	return out, budgetErr
+}
+
+// solveSet is the shared worker pool under SolveContext and SolveSubset: it
+// dispatches the components named by ids and returns their matchings keyed
+// by component id. Fatal errors return a nil map; core.ErrNodeLimit is
+// non-fatal and returned alongside the results.
+func (d *Decomposition) solveSet(ctx context.Context, algo string, ids []int, opt Options) (map[int]*core.Matching, error, error) {
+	if _, err := core.LookupSolver(algo); err != nil {
+		return nil, nil, err
 	}
 	decompRuns.Inc()
-	n := len(d.Components)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	n := len(ids)
 	if n == 0 {
-		return core.NewMatching(), nil
+		return map[int]*core.Matching{}, nil, nil
 	}
 	workers := normalizeWorkers(opt.Workers, n)
 	rec := obs.RecorderFrom(ctx)
@@ -133,18 +189,19 @@ func (d *Decomposition) SolveContext(ctx context.Context, algo string, opt Optio
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for j := range jobs {
 				// After a fatal error (or cancellation) the remaining
 				// components drain without solving; their errs stay nil and
-				// the first fatal error, by component order, is reported.
+				// the first fatal error, by dispatch order, is reported.
 				if failed.Load() {
 					continue
 				}
 				if err := ctx.Err(); err != nil {
-					errs[i] = err
+					errs[j] = err
 					failed.Store(true)
 					continue
 				}
+				i := ids[j]
 				c := d.Components[i]
 				csp := rec.Start("decomp/component").
 					Annotate("component", i).
@@ -153,7 +210,7 @@ func (d *Decomposition) SolveContext(ctx context.Context, algo string, opt Optio
 				m, err := solveComponentFn(ctx, algo, c.Sub, componentRNG(opt.Seed, i), opt.ExactNodeLimit)
 				decompComponents.Inc()
 				decompComponentSize.Observe(float64(len(c.Events) + len(c.Users)))
-				results[i], errs[i] = m, err
+				results[j], errs[j] = m, err
 				if err != nil && !errors.Is(err, core.ErrNodeLimit) {
 					failed.Store(true)
 					csp.Annotate("error", err.Error()).End()
@@ -163,36 +220,31 @@ func (d *Decomposition) SolveContext(ctx context.Context, algo string, opt Optio
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
+	for j := 0; j < n; j++ {
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()
 
 	var budgetErr error
-	for i, err := range errs {
+	for j, err := range errs {
 		switch {
 		case err == nil:
 		case errors.Is(err, core.ErrNodeLimit):
 			budgetErr = err
 		default:
 			sp.Annotate("error", err.Error()).End()
-			return nil, errs[i]
+			return nil, nil, errs[j]
 		}
 	}
-
-	// Merge in component order: sub indices map back through the
-	// component's parent-index slices. Similarities are bit-identical to
-	// the parent's, so the merged matching validates against it.
-	merged := core.NewMatching()
-	for i, c := range d.Components {
-		if results[i] == nil {
-			continue
-		}
-		for _, p := range results[i].Pairs() {
-			merged.Add(c.Events[p.V], c.Users[p.U], p.Sim)
+	byID := make(map[int]*core.Matching, n)
+	var pairs int
+	for j, id := range ids {
+		if results[j] != nil {
+			byID[id] = results[j]
+			pairs += results[j].Size()
 		}
 	}
-	sp.Annotate("pairs", merged.Size()).Annotate("max_sum", merged.MaxSum()).End()
-	return merged, budgetErr
+	sp.Annotate("pairs", pairs).End()
+	return byID, budgetErr, nil
 }

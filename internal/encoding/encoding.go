@@ -91,6 +91,23 @@ type SimInfo struct {
 	MaxT float64
 }
 
+// Func rebuilds the similarity function the info names. SimMatrix has no
+// function form (matrix instances carry their values explicitly) and is an
+// error, as is an unknown kind.
+func (info SimInfo) Func() (sim.Func, error) {
+	switch info.Kind {
+	case SimEuclidean:
+		return sim.Euclidean(info.Dim, info.MaxT), nil
+	case SimCosine:
+		return sim.Cosine(), nil
+	case SimManhattan:
+		return sim.Manhattan(info.Dim, info.MaxT), nil
+	case SimMatrix:
+		return nil, fmt.Errorf("encoding: matrix similarity has no function form")
+	}
+	return nil, fmt.Errorf("encoding: unknown similarity kind %q", info.Kind)
+}
+
 // DecodeInstance parses an instance from JSON and rebuilds the similarity
 // function or matrix.
 func DecodeInstance(r io.Reader) (*core.Instance, error) {

@@ -20,31 +20,53 @@ type SessionJSON struct {
 	Meta     SessionMeta     `json:"meta"`
 }
 
-// SessionMeta records how the matching was produced.
+// SessionMeta records how the matching was produced. Seq is used by the
+// service snapshot store (internal/store): it records the op-log sequence
+// number the archived state corresponds to, so a restart knows where log
+// replay must resume.
 type SessionMeta struct {
 	Algorithm string    `json:"algorithm"`
 	Seed      int64     `json:"seed,omitempty"`
 	Seconds   float64   `json:"seconds,omitempty"`
 	CreatedAt time.Time `json:"created_at,omitempty"`
+	Seq       int64     `json:"seq,omitempty"`
 }
 
 // EncodeSession writes the bundle. The instance is re-serialized with the
-// given similarity kind (see EncodeInstance).
+// given similarity kind (see EncodeInstance). Pairs are written sorted by
+// (v, u); see EncodeSessionOrdered when the matching's insertion order is
+// part of the state being archived.
 func EncodeSession(w io.Writer, in *core.Instance, m *core.Matching, meta SessionMeta,
 	kind SimKind, dim int, maxT float64) error {
+	return encodeSession(w, in, m, meta, kind, dim, maxT, false)
+}
+
+// EncodeSessionOrdered is EncodeSession preserving the matching's insertion
+// order. DecodeSession rebuilds the matching by adding pairs in listed
+// order, so an ordered archive round-trips the matching bit-for-bit —
+// including the float accumulation order of MaxSum. The arrangement-service
+// snapshot store depends on this for exact crash recovery.
+func EncodeSessionOrdered(w io.Writer, in *core.Instance, m *core.Matching, meta SessionMeta,
+	kind SimKind, dim int, maxT float64) error {
+	return encodeSession(w, in, m, meta, kind, dim, maxT, true)
+}
+
+func encodeSession(w io.Writer, in *core.Instance, m *core.Matching, meta SessionMeta,
+	kind SimKind, dim int, maxT float64, ordered bool) error {
 	if err := core.Validate(in, m); err != nil {
 		return fmt.Errorf("encoding: refusing to archive an infeasible session: %w", err)
 	}
-	var instBuf, matchBuf bytes.Buffer
+	var instBuf bytes.Buffer
 	if err := EncodeInstance(&instBuf, in, kind, dim, maxT); err != nil {
 		return err
 	}
-	if err := EncodeMatching(&matchBuf, m); err != nil {
-		return err
+	pairs := m.SortedPairs()
+	if ordered {
+		pairs = m.Pairs()
 	}
-	var matching MatchingJSON
-	if err := json.Unmarshal(matchBuf.Bytes(), &matching); err != nil {
-		return err
+	matching := MatchingJSON{MaxSum: m.MaxSum(), Pairs: make([]PairJSON, 0, len(pairs))}
+	for _, p := range pairs {
+		matching.Pairs = append(matching.Pairs, PairJSON{V: p.V, U: p.U, Sim: p.Sim})
 	}
 	doc := SessionJSON{
 		Instance: json.RawMessage(instBuf.Bytes()),

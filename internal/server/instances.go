@@ -1,0 +1,665 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/decomp"
+	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/store"
+)
+
+// DefaultSnapshotEvery is how many logged ops an instance accumulates before
+// the service folds them into a fresh snapshot (geacc-server
+// -snapshot-every overrides it).
+const DefaultSnapshotEvery = 256
+
+// Instance-service observability; catalog in docs/OBSERVABILITY.md.
+var (
+	instancesActive = obs.Default().Gauge("geacc_instances_active")
+	deltaSeconds    = obs.Default().Histogram("geacc_delta_seconds", obs.DefaultLatencyBuckets)
+)
+
+func deltaOps(op string) *obs.Counter {
+	return obs.Default().Counter(obs.Label("geacc_delta_ops_total", "op", op))
+}
+
+// service is the long-lived arrangement registry behind /instances: named
+// arrangers, each with its own lock and (when a data directory is
+// configured) its own write-ahead log + snapshot pair.
+type service struct {
+	log           *slog.Logger
+	st            *store.Store // nil: instances are ephemeral
+	snapshotEvery int
+
+	mu        sync.RWMutex
+	instances map[string]*instance
+}
+
+// instance is one named arranger plus its persistence handle and the dirty
+// marks the next scope=dirty rebalance will consume. All access is
+// serialized under mu, so deltas to one instance are atomic while other
+// instances keep solving in parallel.
+type instance struct {
+	mu   sync.Mutex
+	meta store.Meta
+	arr  *core.Arranger
+	wal  *store.Log // nil when the service has no data directory
+
+	dirtyE map[int]bool
+	dirtyU map[int]bool
+}
+
+// newService opens (or creates) the data directory and replays every
+// instance found in it. An empty dataDir disables persistence: instances
+// live and die with the process.
+func newService(log *slog.Logger, dataDir string, snapshotEvery int) (*service, error) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DefaultSnapshotEvery
+	}
+	s := &service{
+		log:           log,
+		snapshotEvery: snapshotEvery,
+		instances:     make(map[string]*instance),
+	}
+	if dataDir == "" {
+		return s, nil
+	}
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	ids, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		start := time.Now()
+		state, wal, err := st.Load(context.Background(), id)
+		if err != nil {
+			return nil, fmt.Errorf("server: replaying instance %q: %w", id, err)
+		}
+		inst := &instance{
+			meta:   state.Meta,
+			arr:    state.Arranger,
+			wal:    wal,
+			dirtyE: toSet(state.DirtyEvents),
+			dirtyU: toSet(state.DirtyUsers),
+		}
+		s.instances[id] = inst
+		instancesActive.Add(1)
+		log.Info("instance replayed",
+			"id", id, "seq", state.Seq, "snapshot_seq", state.SnapshotSeq,
+			"replayed_ops", state.ReplayedOps,
+			"events", state.Arranger.NumEvents(), "users", state.Arranger.NumUsers(),
+			"seconds", time.Since(start).Seconds())
+	}
+	return s, nil
+}
+
+func toSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func sortedSet(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// get returns the named instance or writes a 404.
+func (s *service) get(w http.ResponseWriter, id string) (*instance, bool) {
+	s.mu.RLock()
+	inst, ok := s.instances[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
+	}
+	return inst, ok
+}
+
+// CreateInstanceRequest is the POST /instances body: the instance's name and
+// its similarity definition, fixed for the instance's lifetime.
+type CreateInstanceRequest struct {
+	ID   string           `json:"id"`
+	Sim  encoding.SimKind `json:"sim"`
+	Dim  int              `json:"dim,omitempty"`
+	MaxT float64          `json:"max_t,omitempty"`
+}
+
+// InstanceSummary is the per-instance view in GET /instances and the header
+// of GET /instances/{id}.
+type InstanceSummary struct {
+	ID          string           `json:"id"`
+	Sim         encoding.SimKind `json:"sim"`
+	Dim         int              `json:"dim,omitempty"`
+	MaxT        float64          `json:"max_t,omitempty"`
+	Events      int              `json:"events"`
+	Users       int              `json:"users"`
+	Pairs       int              `json:"pairs"`
+	MaxSum      float64          `json:"max_sum"`
+	Seq         int64            `json:"seq"`
+	DirtyEvents []int            `json:"dirty_events"`
+	DirtyUsers  []int            `json:"dirty_users"`
+}
+
+// InstanceStatus is the GET /instances/{id} payload: the summary plus the
+// full current matching in arrival order.
+type InstanceStatus struct {
+	InstanceSummary
+	Matching encoding.MatchingJSON `json:"matching"`
+}
+
+// summaryLocked builds the instance's summary; callers hold inst.mu.
+func (inst *instance) summaryLocked() InstanceSummary {
+	var seq int64
+	if inst.wal != nil {
+		seq = inst.wal.Seq()
+	}
+	return InstanceSummary{
+		ID:          inst.meta.ID,
+		Sim:         inst.meta.Sim,
+		Dim:         inst.meta.Dim,
+		MaxT:        inst.meta.MaxT,
+		Events:      inst.arr.NumEvents(),
+		Users:       inst.arr.NumUsers(),
+		Pairs:       inst.arr.Matching().Size(),
+		MaxSum:      inst.arr.MaxSum(),
+		Seq:         seq,
+		DirtyEvents: sortedSet(inst.dirtyE),
+		DirtyUsers:  sortedSet(inst.dirtyU),
+	}
+}
+
+// statusLocked builds the full status; callers hold inst.mu. Pairs are
+// listed in the matching's insertion order (not sorted), so the response —
+// float bits of max_sum included — is reproducible across a crash/replay.
+func (inst *instance) statusLocked() InstanceStatus {
+	m := inst.arr.Matching()
+	mj := encoding.MatchingJSON{MaxSum: m.MaxSum(), Pairs: []encoding.PairJSON{}}
+	for _, p := range m.Pairs() {
+		mj.Pairs = append(mj.Pairs, encoding.PairJSON{V: p.V, U: p.U, Sim: p.Sim})
+	}
+	return InstanceStatus{InstanceSummary: inst.summaryLocked(), Matching: mj}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+		return false
+	}
+	return true
+}
+
+// handleCreateInstance registers a new named instance: POST /instances.
+func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
+	var req CreateInstanceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	meta := store.Meta{ID: req.ID, Sim: req.Sim, Dim: req.Dim, MaxT: req.MaxT}
+	if !store.ValidID(meta.ID) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid instance id %q", meta.ID))
+		return
+	}
+	simFunc, err := meta.SimInfo().Func()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.instances[meta.ID]; ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("server: instance %q already exists", meta.ID))
+		return
+	}
+	var wal *store.Log
+	if s.st != nil {
+		wal, err = s.st.Create(meta)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		meta = wal.Meta()
+	}
+	arr, err := core.NewArranger(simFunc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	inst := &instance{
+		meta:   meta,
+		arr:    arr,
+		wal:    wal,
+		dirtyE: make(map[int]bool),
+		dirtyU: make(map[int]bool),
+	}
+	s.instances[meta.ID] = inst
+	instancesActive.Add(1)
+	requestLogger(r).Info("instance created", "id", meta.ID, "sim", meta.Sim)
+	w.WriteHeader(http.StatusCreated)
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	writeJSON(w, inst.summaryLocked())
+}
+
+// handleListInstances answers GET /instances with every instance's summary,
+// sorted by id.
+func (s *service) handleListInstances(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	insts := make([]*instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.RUnlock()
+	out := make([]InstanceSummary, 0, len(insts))
+	for _, inst := range insts {
+		inst.mu.Lock()
+		out = append(out, inst.summaryLocked())
+		inst.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, map[string]any{"instances": out})
+}
+
+// handleGetInstance answers GET /instances/{id} with the full status.
+func (s *service) handleGetInstance(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	writeJSON(w, inst.statusLocked())
+}
+
+// handleDeleteInstance removes an instance and, when persistent, its files:
+// DELETE /instances/{id}.
+func (s *service) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	inst, ok := s.instances[id]
+	if ok {
+		delete(s.instances, id)
+		instancesActive.Add(-1)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
+		return
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.wal != nil {
+		_ = inst.wal.Close()
+	}
+	if s.st != nil {
+		if err := s.st.Delete(id); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	requestLogger(r).Info("instance deleted", "id", id)
+	writeJSON(w, map[string]string{"deleted": id})
+}
+
+// AddEventRequest is the POST /instances/{id}/events body.
+type AddEventRequest struct {
+	Attrs     []float64 `json:"attrs"`
+	Cap       int       `json:"cap"`
+	Conflicts []int     `json:"conflicts,omitempty"`
+}
+
+// AddUserRequest is the POST /instances/{id}/users body.
+type AddUserRequest struct {
+	Attrs []float64 `json:"attrs"`
+	Cap   int       `json:"cap"`
+}
+
+// CancelRequest is the POST /instances/{id}/cancel body: exactly one of
+// event or user names the node to remove.
+type CancelRequest struct {
+	Event *int `json:"event,omitempty"`
+	User  *int `json:"user,omitempty"`
+}
+
+// DeltaResponse acknowledges one applied delta. ID is the index assigned to
+// an arrival (absent for cancellations); Matched lists the counterparties
+// the greedy placement picked up immediately.
+type DeltaResponse struct {
+	Op      string `json:"op"`
+	ID      *int   `json:"id,omitempty"`
+	Matched []int  `json:"matched,omitempty"`
+	Seq     int64  `json:"seq"`
+	MaxSum  float64 `json:"max_sum"`
+}
+
+// checkAttrs validates an arrival's attribute vector against the instance's
+// similarity definition before anything hits the log.
+func (inst *instance) checkAttrs(attrs []float64) error {
+	if inst.meta.Dim > 0 && len(attrs) != inst.meta.Dim {
+		return fmt.Errorf("server: instance %q wants %d attributes, got %d",
+			inst.meta.ID, inst.meta.Dim, len(attrs))
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("server: empty attribute vector")
+	}
+	return nil
+}
+
+// logThenApply runs the write-ahead sequence for one validated delta:
+// append the op, apply it to the arranger, then snapshot if the log has
+// drifted far enough. The caller holds inst.mu and has already validated
+// the op, so an apply failure is a log/arranger divergence — it is returned
+// as a 500 and logged loudly, because the log now has one op the memory
+// image does not.
+func (s *service) logThenApply(ctx context.Context, inst *instance, op store.Op) (int64, error) {
+	var seq int64
+	if inst.wal != nil {
+		var err error
+		seq, err = inst.wal.Append(op)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := store.Apply(inst.arr, op); err != nil {
+		s.log.Error("delta applied to log but rejected by arranger; instance diverged from its log",
+			"id", inst.meta.ID, "op", op.Kind, "seq", seq, "err", err)
+		return 0, err
+	}
+	deltaOps(op.Kind).Inc()
+	s.maybeSnapshot(ctx, inst)
+	return seq, nil
+}
+
+// maybeSnapshot folds the log into a fresh snapshot once enough ops have
+// accumulated. Snapshot failures are logged, not fatal: the log alone still
+// recovers the instance, just more slowly.
+func (s *service) maybeSnapshot(ctx context.Context, inst *instance) {
+	if inst.wal == nil || inst.wal.OpsSinceSnapshot() < s.snapshotEvery {
+		return
+	}
+	// The snapshot must finish even if the delta's client hangs up.
+	if err := inst.wal.WriteSnapshot(context.WithoutCancel(ctx), inst.arr); err != nil {
+		s.log.Error("snapshot failed", "id", inst.meta.ID, "err", err)
+	}
+}
+
+// handleAddEvent appends an event arrival: POST /instances/{id}/events.
+func (s *service) handleAddEvent(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	var req AddEventRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.checkAttrs(req.Attrs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Cap < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
+		return
+	}
+	nv := inst.arr.NumEvents()
+	for _, c := range req.Conflicts {
+		if c < 0 || c >= nv {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: conflict id %d out of range [0, %d)", c, nv))
+			return
+		}
+	}
+	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+		Annotate("id", inst.meta.ID).Annotate("op", store.OpAddEvent)
+	defer sp.End()
+	seq, err := s.logThenApply(r.Context(), inst, store.Op{
+		Kind: store.OpAddEvent, Attrs: req.Attrs, Cap: req.Cap, Conflicts: req.Conflicts,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	inst.dirtyE[nv] = true
+	deltaSeconds.Observe(time.Since(start).Seconds())
+	writeJSON(w, DeltaResponse{
+		Op: store.OpAddEvent, ID: &nv, Matched: inst.arr.EventUsers(nv),
+		Seq: seq, MaxSum: inst.arr.MaxSum(),
+	})
+}
+
+// handleAddUser appends a user arrival: POST /instances/{id}/users.
+func (s *service) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	var req AddUserRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.checkAttrs(req.Attrs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Cap < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
+		return
+	}
+	nu := inst.arr.NumUsers()
+	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+		Annotate("id", inst.meta.ID).Annotate("op", store.OpAddUser)
+	defer sp.End()
+	seq, err := s.logThenApply(r.Context(), inst, store.Op{
+		Kind: store.OpAddUser, Attrs: req.Attrs, Cap: req.Cap,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	inst.dirtyU[nu] = true
+	deltaSeconds.Observe(time.Since(start).Seconds())
+	writeJSON(w, DeltaResponse{
+		Op: store.OpAddUser, ID: &nu, Matched: inst.arr.UserEvents(nu),
+		Seq: seq, MaxSum: inst.arr.MaxSum(),
+	})
+}
+
+// handleCancel removes an event or a user: POST /instances/{id}/cancel.
+func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	var req CancelRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.Event == nil) == (req.User == nil) {
+		writeError(w, http.StatusBadRequest, errors.New(`server: cancel wants exactly one of "event" or "user"`))
+		return
+	}
+	start := time.Now()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	var op store.Op
+	kind := store.OpCancelEvent
+	if req.Event != nil {
+		if *req.Event < 0 || *req.Event >= inst.arr.NumEvents() {
+			writeError(w, http.StatusNotFound, fmt.Errorf("server: no event %d", *req.Event))
+			return
+		}
+		op = store.Op{Kind: store.OpCancelEvent, Event: req.Event}
+	} else {
+		if *req.User < 0 || *req.User >= inst.arr.NumUsers() {
+			writeError(w, http.StatusNotFound, fmt.Errorf("server: no user %d", *req.User))
+			return
+		}
+		kind = store.OpRemoveUser
+		op = store.Op{Kind: store.OpRemoveUser, User: req.User}
+	}
+	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+		Annotate("id", inst.meta.ID).Annotate("op", kind)
+	defer sp.End()
+	seq, err := s.logThenApply(r.Context(), inst, op)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Event != nil {
+		inst.dirtyE[*req.Event] = true
+	} else {
+		inst.dirtyU[*req.User] = true
+	}
+	deltaSeconds.Observe(time.Since(start).Seconds())
+	writeJSON(w, DeltaResponse{Op: kind, Seq: seq, MaxSum: inst.arr.MaxSum()})
+}
+
+// RebalanceResponse is the POST /instances/{id}/rebalance payload.
+type RebalanceResponse struct {
+	decomp.RebalanceResult
+	Scope   string  `json:"scope"`
+	Algo    string  `json:"algo"`
+	Seq     int64   `json:"seq"`
+	MaxSum  float64 `json:"max_sum"`
+	Seconds float64 `json:"seconds"`
+}
+
+// handleRebalance re-solves the instance: POST /instances/{id}/rebalance.
+// ?scope=dirty (default) re-solves only the decomposition components the
+// deltas since the last rebalance touched; ?scope=full re-solves every
+// component. ?algo= picks the registry solver (default greedy), ?workers=
+// bounds the component pool, ?seed= fixes the random baselines. The solve
+// runs under the request context, so a disconnected client cancels it
+// (status 499) with the instance unchanged.
+func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	scope := q.Get("scope")
+	if scope == "" {
+		scope = "dirty"
+	}
+	if scope != "dirty" && scope != "full" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown scope %q (dirty or full)", scope))
+		return
+	}
+	algo := q.Get("algo")
+	if algo == "" {
+		algo = "greedy"
+	}
+	if _, err := core.LookupSolver(algo); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := decomp.Options{Seed: 1}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
+			return
+		}
+		opt.Workers = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
+			return
+		}
+		opt.Seed = n
+	}
+
+	start := time.Now()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	prev := inst.arr.Matching()
+	res, err := decomp.RebalanceScoped(r.Context(), inst.arr, algo,
+		sortedSet(inst.dirtyE), sortedSet(inst.dirtyU), scope == "full", opt)
+	if err != nil {
+		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+
+	// The rebalance already mutated the arranger (RebalanceScoped adopts
+	// internally), so the log entry records the outcome — the adopted pairs,
+	// not the solver invocation — and replay never re-runs a solver. If the
+	// append fails, the previous matching is restored so memory and log
+	// still agree.
+	op := store.Op{Kind: store.OpRebalance, Adopted: res.Adopted}
+	if res.Adopted {
+		for _, p := range inst.arr.Matching().Pairs() {
+			op.Pairs = append(op.Pairs, encoding.PairJSON{V: p.V, U: p.U, Sim: p.Sim})
+		}
+	}
+	var seq int64
+	if inst.wal != nil {
+		seq, err = inst.wal.Append(op)
+		if err != nil {
+			if rerr := inst.arr.SetMatching(prev); rerr != nil {
+				s.log.Error("rebalance rollback failed", "id", inst.meta.ID, "err", rerr)
+			}
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	deltaOps(store.OpRebalance).Inc()
+	clear(inst.dirtyE)
+	clear(inst.dirtyU)
+	s.maybeSnapshot(r.Context(), inst)
+
+	elapsed := time.Since(start).Seconds()
+	requestLogger(r).Info("rebalance",
+		"id", inst.meta.ID, "scope", scope, "algo", algo,
+		"components_solved", res.ComponentsSolved, "components_total", res.ComponentsTotal,
+		"gain", res.Gain, "adopted", res.Adopted, "seconds", elapsed)
+	writeJSON(w, RebalanceResponse{
+		RebalanceResult: res,
+		Scope:           scope,
+		Algo:            algo,
+		Seq:             seq,
+		MaxSum:          inst.arr.MaxSum(),
+		Seconds:         elapsed,
+	})
+}
+
+// register mounts the instance endpoints on mux.
+func (s *service) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /instances", s.handleCreateInstance)
+	mux.HandleFunc("GET /instances", s.handleListInstances)
+	mux.HandleFunc("GET /instances/{id}", s.handleGetInstance)
+	mux.HandleFunc("DELETE /instances/{id}", s.handleDeleteInstance)
+	mux.HandleFunc("POST /instances/{id}/events", s.handleAddEvent)
+	mux.HandleFunc("POST /instances/{id}/users", s.handleAddUser)
+	mux.HandleFunc("POST /instances/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /instances/{id}/rebalance", s.handleRebalance)
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// newInstanceServer builds a test server with the given data directory
+// ("" = ephemeral instances) and a quiet logger.
+func newInstanceServer(t *testing.T, dataDir string, snapshotEvery int) *httptest.Server {
+	t.Helper()
+	h, err := NewWithConfig(Config{
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DataDir:       dataDir,
+		SnapshotEvery: snapshotEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postStr is postJSON for string literals.
+func postStr(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	return postJSON(t, url, []byte(body))
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	srv := newInstanceServer(t, "", 0)
+
+	resp, body := postStr(t, srv.URL+"/instances", `{"id":"prod","sim":"euclidean","dim":2,"max_t":10}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	// Duplicate id → 409; bad id / unknown sim / matrix → 400.
+	if resp, body = postStr(t, srv.URL+"/instances", `{"id":"prod","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances", `{"id":"../evil","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %d", resp.StatusCode)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances", `{"id":"m","sim":"matrix"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("matrix sim: %d", resp.StatusCode)
+	}
+
+	// Deltas: one event, two users; the greedy placement should match both.
+	resp, body = postStr(t, srv.URL+"/instances/prod/events", `{"attrs":[0,0],"cap":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add event: %d %s", resp.StatusCode, body)
+	}
+	var delta DeltaResponse
+	if err := json.Unmarshal(body, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if delta.ID == nil || *delta.ID != 0 {
+		t.Fatalf("event id: %+v", delta)
+	}
+	for _, u := range []string{`{"attrs":[1,0],"cap":1}`, `{"attrs":[0,1],"cap":1}`} {
+		if resp, body = postStr(t, srv.URL+"/instances/prod/users", u); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add user: %d %s", resp.StatusCode, body)
+		}
+	}
+
+	// Status reflects the placements.
+	code, body := getBody(t, srv.URL+"/instances/prod")
+	if code != http.StatusOK {
+		t.Fatalf("get: %d %s", code, body)
+	}
+	var status InstanceStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Events != 1 || status.Users != 2 || status.Pairs != 2 {
+		t.Fatalf("status: %+v", status.InstanceSummary)
+	}
+	if len(status.DirtyEvents) != 1 || len(status.DirtyUsers) != 2 {
+		t.Fatalf("dirty marks: %+v", status.InstanceSummary)
+	}
+
+	// Cancel the event: both users are released.
+	if resp, body = postStr(t, srv.URL+"/instances/prod/cancel", `{"event":0}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances/prod/cancel", `{"event":7}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown event: %d", resp.StatusCode)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances/prod/cancel", `{"event":0,"user":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cancel with both: %d", resp.StatusCode)
+	}
+	_, body = getBody(t, srv.URL+"/instances/prod")
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Pairs != 0 {
+		t.Fatalf("after cancel: %+v", status.InstanceSummary)
+	}
+
+	// List, then delete, then 404.
+	code, body = getBody(t, srv.URL+"/instances")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"prod"`)) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/instances/prod", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	if code, _ = getBody(t, srv.URL+"/instances/prod"); code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", code)
+	}
+}
+
+// TestConcurrentDeltas hammers one instance from many goroutines; every
+// delta must be applied exactly once, with a distinct log seq.
+func TestConcurrentDeltas(t *testing.T) {
+	srv := newInstanceServer(t, t.TempDir(), 16)
+	if resp, body := postStr(t, srv.URL+"/instances", `{"id":"c","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postStr(t, srv.URL+"/instances/c/events", `{"attrs":[0,0],"cap":64}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add event: %d %s", resp.StatusCode, body)
+	}
+
+	const n = 40
+	seqs := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"attrs":[%d,1],"cap":1}`, i%7)
+			resp, b := postStr(t, srv.URL+"/instances/c/users", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("add user %d: %d %s", i, resp.StatusCode, b)
+				return
+			}
+			var d DeltaResponse
+			if err := json.Unmarshal(b, &d); err != nil {
+				t.Error(err)
+				return
+			}
+			seqs[i] = d.Seq
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[int64]bool, n)
+	for _, s := range seqs {
+		if s == 0 || seen[s] {
+			t.Fatalf("duplicate or missing seq %d in %v", s, seqs)
+		}
+		seen[s] = true
+	}
+	_, body := getBody(t, srv.URL+"/instances/c")
+	var status InstanceStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Users != n || status.Events != 1 {
+		t.Fatalf("after concurrent deltas: %+v", status.InstanceSummary)
+	}
+}
+
+// TestPersistenceAcrossRestart streams deltas (crossing several snapshot
+// boundaries), tears the handler down, builds a fresh one over the same
+// data directory, and requires byte-identical GET /instances/{id} bodies.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv := newInstanceServer(t, dir, 10)
+
+	for _, id := range []string{"alpha", "beta"} {
+		if resp, body := postStr(t, srv.URL+"/instances",
+			fmt.Sprintf(`{"id":%q,"sim":"euclidean","dim":2,"max_t":10}`, id)); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", id, resp.StatusCode, body)
+		}
+		for i := 0; i < 12; i++ {
+			postStr(t, srv.URL+"/instances/"+id+"/events", fmt.Sprintf(`{"attrs":[%d,0],"cap":2}`, i%5))
+			postStr(t, srv.URL+"/instances/"+id+"/users", fmt.Sprintf(`{"attrs":[%d,1],"cap":1}`, i%5))
+			if i%5 == 4 {
+				postStr(t, srv.URL+"/instances/"+id+"/cancel", fmt.Sprintf(`{"event":%d}`, i%3))
+			}
+		}
+		if resp, body := postStr(t, srv.URL+"/instances/"+id+"/rebalance?scope=full", ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("rebalance %s: %d %s", id, resp.StatusCode, body)
+		}
+		postStr(t, srv.URL+"/instances/"+id+"/users", `{"attrs":[2,2],"cap":2}`)
+	}
+	before := map[string][]byte{}
+	for _, id := range []string{"alpha", "beta"} {
+		code, body := getBody(t, srv.URL+"/instances/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("get %s: %d", id, code)
+		}
+		before[id] = body
+	}
+	srv.Close()
+
+	srv2 := newInstanceServer(t, dir, 10)
+	for _, id := range []string{"alpha", "beta"} {
+		code, body := getBody(t, srv2.URL+"/instances/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("get %s after restart: %d", id, code)
+		}
+		if !bytes.Equal(before[id], body) {
+			t.Fatalf("instance %s diverged after restart:\nbefore: %s\nafter:  %s", id, before[id], body)
+		}
+	}
+	// The replayed registry still owns the ids.
+	if resp, _ := postStr(t, srv2.URL+"/instances", `{"id":"alpha","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("create replayed id: %d", resp.StatusCode)
+	}
+}
+
+// TestDirtyScopedRebalanceSolvesOneComponent builds two similarity
+// communities so far apart they decompose into separate components, dirties
+// only one of them, and asserts the scope=dirty rebalance dispatched
+// exactly one component to the solver pool — measured by the
+// geacc_decomp_components_total counter, which increments once per solved
+// component.
+func TestDirtyScopedRebalanceSolvesOneComponent(t *testing.T) {
+	srv := newInstanceServer(t, "", 0)
+	if resp, body := postStr(t, srv.URL+"/instances", `{"id":"d","sim":"euclidean","dim":2,"max_t":2}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	// Community A near the origin, community B near (100, 100): euclidean
+	// similarity with max_t 2 is zero across the gap, so they are separate
+	// decomposition components.
+	for _, d := range []string{
+		`{"attrs":[0,0],"cap":2}`, `{"attrs":[100,100],"cap":2}`,
+	} {
+		if resp, body := postStr(t, srv.URL+"/instances/d/events", d); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add event: %d %s", resp.StatusCode, body)
+		}
+	}
+	for _, d := range []string{
+		`{"attrs":[0.5,0],"cap":1}`, `{"attrs":[100,100.5],"cap":1}`,
+	} {
+		if resp, body := postStr(t, srv.URL+"/instances/d/users", d); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add user: %d %s", resp.StatusCode, body)
+		}
+	}
+	// Full rebalance consumes the arrival dirty marks.
+	if resp, body := postStr(t, srv.URL+"/instances/d/rebalance?scope=full", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("full rebalance: %d %s", resp.StatusCode, body)
+	}
+
+	// One delta inside community A only.
+	if resp, body := postStr(t, srv.URL+"/instances/d/users", `{"attrs":[0,0.5],"cap":1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add user: %d %s", resp.StatusCode, body)
+	}
+
+	counter := obs.Default().Counter("geacc_decomp_components_total")
+	beforeCount := counter.Value()
+	resp, body := postStr(t, srv.URL+"/instances/d/rebalance?scope=dirty", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dirty rebalance: %d %s", resp.StatusCode, body)
+	}
+	var rb RebalanceResponse
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb.ComponentsTotal != 2 {
+		t.Fatalf("components_total = %d, want 2 (communities merged?): %s", rb.ComponentsTotal, body)
+	}
+	if rb.ComponentsSolved != 1 {
+		t.Fatalf("components_solved = %d, want 1: %s", rb.ComponentsSolved, body)
+	}
+	if got := counter.Value() - beforeCount; got != 1 {
+		t.Fatalf("geacc_decomp_components_total advanced by %d, want 1 (only the dirty component)", got)
+	}
+
+	// The dirty marks were consumed.
+	_, body = getBody(t, srv.URL+"/instances/d")
+	var status InstanceStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.DirtyEvents)+len(status.DirtyUsers) != 0 {
+		t.Fatalf("dirty marks survived the rebalance: %+v", status.InstanceSummary)
+	}
+}
+
+// TestInstanceMetricPathFolding keeps the metric label space bounded: the
+// id segment must fold into the route template.
+func TestInstanceMetricPathFolding(t *testing.T) {
+	cases := map[string]string{
+		"/instances":                "/instances",
+		"/instances/prod":           "/instances/{id}",
+		"/instances/prod/users":     "/instances/{id}/users",
+		"/instances/prod/events":    "/instances/{id}/events",
+		"/instances/prod/cancel":    "/instances/{id}/cancel",
+		"/instances/prod/rebalance": "/instances/{id}/rebalance",
+		"/instances/prod/whatever":  "other",
+		"/instances/a/b/c":          "other",
+		"/instances/":               "other",
+		"/solve":                    "/solve",
+		"/nope":                     "other",
+	}
+	for path, want := range cases {
+		if got := metricPath(path); got != want {
+			t.Errorf("metricPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -7,13 +7,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/obs"
 )
 
 // knownPaths are the routes metrics may label. Anything else is folded
-// into "other" so an attacker probing random URLs cannot grow the metric
+// into "other" (instance routes fold to their {id} template first, in
+// metricPath) so an attacker probing random URLs cannot grow the metric
 // namespace without bound.
 var knownPaths = map[string]bool{
 	"/healthz":    true,
@@ -24,6 +26,36 @@ var knownPaths = map[string]bool{
 	"/validate":   true,
 	"/metrics":    true,
 	"/debug/vars": true,
+	"/instances":  true,
+}
+
+// instanceOps are the delta sub-routes under /instances/{id}/.
+var instanceOps = map[string]bool{
+	"events":    true,
+	"users":     true,
+	"cancel":    true,
+	"rebalance": true,
+}
+
+// metricPath folds a request path into a bounded label value: known routes
+// keep their path, instance routes collapse to their route template (the
+// id segment is unbounded client input), everything else is "other".
+func metricPath(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	if rest, ok := strings.CutPrefix(p, "/instances/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			if op := rest[i+1:]; instanceOps[op] {
+				return "/instances/{id}/" + op
+			}
+			return "other"
+		}
+		if rest != "" {
+			return "/instances/{id}"
+		}
+	}
+	return "other"
 }
 
 // telemetryPaths are scraped by dashboards and load balancers on a timer;
@@ -62,10 +94,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 func withMetrics(next http.Handler) http.Handler {
 	inflight := obs.Default().Gauge("geacc_http_inflight")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		path := r.URL.Path
-		if !knownPaths[path] {
-			path = "other"
-		}
+		path := metricPath(r.URL.Path)
 		inflight.Add(1)
 		defer inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}

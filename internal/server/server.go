@@ -29,21 +29,56 @@ const MaxRequestBytes = 64 << 20
 // context's cancellation aborted the run.
 const statusClientClosedRequest = 499
 
+// Config tunes the service handler. The zero value is valid: default
+// logger, no persistence, default snapshot cadence.
+type Config struct {
+	// Logger receives request and domain logs; nil means slog.Default().
+	Logger *slog.Logger
+	// DataDir enables persistence: every named instance gets a write-ahead
+	// op log and periodic snapshots under this directory, and NewWithConfig
+	// replays whatever it finds there before serving. Empty means instances
+	// are ephemeral (they die with the process).
+	DataDir string
+	// SnapshotEvery is how many logged ops an instance accumulates before
+	// its log is folded into a fresh snapshot; <= 0 means
+	// DefaultSnapshotEvery.
+	SnapshotEvery int
+}
+
 // New returns the service's handler, wrapped in the metrics middleware.
 // Request logs go to slog's process default; geacc-server passes its
-// flag-configured logger through NewWithLogger. Besides the solver
-// endpoints it serves the Prometheus text exposition at GET /metrics and
-// the expvar page (the "geacc" metrics registry plus Go runtime vars) at
-// GET /debug/vars; the heavier pprof surface is only on DebugHandler.
+// flag-configured logger through NewWithConfig. Besides the stateless
+// solver endpoints and the stateful /instances surface it serves the
+// Prometheus text exposition at GET /metrics and the expvar page (the
+// "geacc" metrics registry plus Go runtime vars) at GET /debug/vars; the
+// heavier pprof surface is only on DebugHandler.
 func New() http.Handler {
 	return NewWithLogger(slog.Default())
 }
 
 // NewWithLogger is New with an explicit request logger. A nil logger
-// falls back to slog.Default().
+// falls back to slog.Default(). Instances are ephemeral; use
+// NewWithConfig for persistence.
 func NewWithLogger(log *slog.Logger) http.Handler {
+	h, err := NewWithConfig(Config{Logger: log})
+	if err != nil {
+		// Unreachable: only a configured DataDir can fail to open.
+		panic(err)
+	}
+	return h
+}
+
+// NewWithConfig builds the full service handler: the stateless solver
+// endpoints plus the long-lived /instances registry, replaying any
+// persisted instances found under cfg.DataDir before it returns.
+func NewWithConfig(cfg Config) (http.Handler, error) {
+	log := cfg.Logger
 	if log == nil {
 		log = slog.Default()
+	}
+	svc, err := newService(log, cfg.DataDir, cfg.SnapshotEvery)
+	if err != nil {
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
@@ -54,7 +89,8 @@ func NewWithLogger(log *slog.Logger) http.Handler {
 	mux.HandleFunc("POST /validate", handleValidate)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return withMetrics(withLogging(mux, log))
+	svc.register(mux)
+	return withMetrics(withLogging(mux, log)), nil
 }
 
 // handleMetrics serves the obs registry in the Prometheus text exposition

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/encoding"
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// State is a replayed instance: the reconstructed arranger plus the replay
+// bookkeeping the service needs to resume exactly where the dead process
+// stopped — including the dirty marks accumulated since the last rebalance,
+// so the next scoped rebalance still re-solves precisely the components the
+// pre-crash deltas touched.
+type State struct {
+	Arranger *core.Arranger
+	Meta     Meta
+
+	// Seq is the last op seq on disk; SnapshotSeq is how far the snapshot
+	// reached (0 when replay started from an empty arranger).
+	Seq         int64
+	SnapshotSeq int64
+	// ReplayedOps counts the ops applied from the log (those past the
+	// snapshot).
+	ReplayedOps int
+
+	// DirtyEvents / DirtyUsers are the parent node ids touched by deltas
+	// since the last rebalance op, ascending.
+	DirtyEvents []int
+	DirtyUsers  []int
+}
+
+// LoadDir replays one instance directory read-only: snapshot (if present)
+// plus every logged op past it. A torn final log line is skipped with a
+// warning but the file is left untouched — this is the offline debugging
+// entry (geacc-solve -replay). A recorder on ctx receives one
+// instance/replay span.
+func LoadDir(ctx context.Context, dir string) (*State, error) {
+	return loadDir(ctx, dir, false)
+}
+
+// Load replays the named instance and opens its log for appending. A torn
+// final log line is truncated away first, so subsequent appends start on a
+// clean line boundary.
+func (s *Store) Load(ctx context.Context, id string) (*State, *Log, error) {
+	if !ValidID(id) {
+		return nil, nil, fmt.Errorf("store: invalid instance id %q", id)
+	}
+	dir := s.InstanceDir(id)
+	st, err := loadDir(ctx, dir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, opsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	l := &Log{
+		dir:      dir,
+		meta:     st.Meta,
+		f:        f,
+		seq:      st.Seq,
+		snapSeq:  st.SnapshotSeq,
+		opsSince: st.ReplayedOps,
+	}
+	return st, l, nil
+}
+
+func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
+	start := time.Now()
+	sp := obs.RecorderFrom(ctx).Start("instance/replay").Annotate("dir", dir)
+	defer sp.End()
+
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{Meta: meta}
+
+	// Start point: the snapshot when one exists, an empty arranger otherwise.
+	if sf, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
+		in, m, smeta, derr := encoding.DecodeSession(sf)
+		sf.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("store: snapshot: %w", derr)
+		}
+		st.Arranger, derr = core.RestoreArranger(in, m)
+		if derr != nil {
+			return nil, fmt.Errorf("store: snapshot: %w", derr)
+		}
+		st.SnapshotSeq = smeta.Seq
+		st.Seq = smeta.Seq
+	} else {
+		f, ferr := meta.SimInfo().Func()
+		if ferr != nil {
+			return nil, fmt.Errorf("store: %w", ferr)
+		}
+		st.Arranger, ferr = core.NewArranger(f)
+		if ferr != nil {
+			return nil, fmt.Errorf("store: %w", ferr)
+		}
+	}
+
+	if err := replayOpsFile(ctx, dir, st, repair); err != nil {
+		return nil, err
+	}
+
+	replayOps.Add(int64(st.ReplayedOps))
+	replaySeconds.Observe(time.Since(start).Seconds())
+	sp.Annotate("seq", st.Seq).
+		Annotate("snapshot_seq", st.SnapshotSeq).
+		Annotate("replayed_ops", st.ReplayedOps)
+	return st, nil
+}
+
+// replayOpsFile scans ops.jsonl, applying every op with seq > the snapshot
+// seq and rebuilding the dirty marks. A parse failure with nothing but
+// whitespace after it is a torn tail (the hard-kill signature): it is
+// dropped — and, with repair, truncated off the file. A parse failure with
+// valid data after it is corruption and fails the load.
+func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) error {
+	path := filepath.Join(dir, opsFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dirtyE := make(map[int]bool)
+	dirtyU := make(map[int]bool)
+	r := bufio.NewReaderSize(f, 1<<20)
+	var offset, tornAt int64 = 0, -1
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			if tornAt >= 0 {
+				f.Close()
+				return fmt.Errorf("store: %s: corrupt op line at byte %d (valid data follows it)", path, tornAt)
+			}
+			var op Op
+			if uerr := json.Unmarshal(trimmed, &op); uerr != nil {
+				tornAt = offset
+			} else {
+				if op.Seq <= st.SnapshotSeq {
+					// Already folded into the snapshot.
+				} else {
+					if op.Seq != st.Seq+1 {
+						f.Close()
+						return fmt.Errorf("store: %s: op seq %d after %d (log gap)", path, op.Seq, st.Seq)
+					}
+					markDirty(st.Arranger, op, dirtyE, dirtyU)
+					if aerr := Apply(st.Arranger, op); aerr != nil {
+						f.Close()
+						return fmt.Errorf("store: replay op %d: %w", op.Seq, aerr)
+					}
+					st.Seq = op.Seq
+					st.ReplayedOps++
+				}
+			}
+		}
+		offset += int64(len(line))
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", rerr)
+		}
+		if err := ctx.Err(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	f.Close()
+	if tornAt >= 0 {
+		slog.Warn("store: dropping torn final op line (hard kill mid-append)",
+			"path", path, "offset", tornAt)
+		if repair {
+			if err := os.Truncate(path, tornAt); err != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", err)
+			}
+		}
+	}
+	st.DirtyEvents = sortedKeys(dirtyE)
+	st.DirtyUsers = sortedKeys(dirtyU)
+	return nil
+}
+
+// markDirty mirrors the service's delta-time dirty tracking during replay:
+// arrivals mark the id they are about to receive, removals mark their
+// target, and a rebalance clears everything (it consumed the marks).
+func markDirty(arr *core.Arranger, op Op, dirtyE, dirtyU map[int]bool) {
+	switch op.Kind {
+	case OpAddEvent:
+		dirtyE[arr.NumEvents()] = true
+	case OpAddUser:
+		dirtyU[arr.NumUsers()] = true
+	case OpCancelEvent:
+		if op.Event != nil {
+			dirtyE[*op.Event] = true
+		}
+	case OpRemoveUser:
+		if op.User != nil {
+			dirtyU[*op.User] = true
+		}
+	case OpRebalance:
+		clear(dirtyE)
+		clear(dirtyU)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
