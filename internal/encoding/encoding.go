@@ -93,8 +93,17 @@ type SimInfo struct {
 
 // Func rebuilds the similarity function the info names. SimMatrix has no
 // function form (matrix instances carry their values explicitly) and is an
-// error, as is an unknown kind.
+// error, as is an unknown kind. The distance-normalized kinds need dim and
+// maxT; missing parameters are an error here rather than a panic in the sim
+// constructors, because this path is fed untrusted serialized input.
 func (info SimInfo) Func() (sim.Func, error) {
+	switch info.Kind {
+	case SimEuclidean, SimManhattan:
+		if info.Dim <= 0 || info.MaxT <= 0 {
+			return nil, fmt.Errorf("encoding: %s similarity needs dim > 0 and max_t > 0 (got dim=%d, max_t=%v)",
+				info.Kind, info.Dim, info.MaxT)
+		}
+	}
 	switch info.Kind {
 	case SimEuclidean:
 		return sim.Euclidean(info.Dim, info.MaxT), nil
@@ -148,12 +157,12 @@ func DecodeInstanceMeta(r io.Reader) (*core.Instance, SimInfo, error) {
 	switch doc.Sim {
 	case SimMatrix:
 		in, err = core.NewMatrixInstance(events, users, cf, doc.Matrix)
-	case SimEuclidean:
-		in, err = core.NewInstance(events, users, cf, sim.Euclidean(doc.Dim, doc.MaxT))
-	case SimCosine:
-		in, err = core.NewInstance(events, users, cf, sim.Cosine())
-	case SimManhattan:
-		in, err = core.NewInstance(events, users, cf, sim.Manhattan(doc.Dim, doc.MaxT))
+	case SimEuclidean, SimCosine, SimManhattan:
+		f, ferr := info.Func()
+		if ferr != nil {
+			return nil, info, ferr
+		}
+		in, err = core.NewInstance(events, users, cf, f)
 	default:
 		return nil, info, fmt.Errorf("encoding: unknown similarity kind %q", doc.Sim)
 	}

@@ -30,6 +30,14 @@ type SessionMeta struct {
 	Seconds   float64   `json:"seconds,omitempty"`
 	CreatedAt time.Time `json:"created_at,omitempty"`
 	Seq       int64     `json:"seq,omitempty"`
+
+	// DirtyEvents/DirtyUsers are the service's pending dirty marks — node
+	// ids touched by deltas since the last rebalance — at the moment the
+	// snapshot was taken. Snapshots fold logged ops away, so without these
+	// the marks of pre-snapshot deltas would be lost across a restart and
+	// the next scope=dirty rebalance would silently skip their components.
+	DirtyEvents []int `json:"dirty_events,omitempty"`
+	DirtyUsers  []int `json:"dirty_users,omitempty"`
 }
 
 // EncodeSession writes the bundle. The instance is re-serialized with the

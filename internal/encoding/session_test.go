@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -26,6 +27,8 @@ func TestSessionRoundTrip(t *testing.T) {
 		Seconds:   0.25,
 		CreatedAt: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
 	}
+	meta.DirtyEvents = []int{1}
+	meta.DirtyUsers = []int{0, 2}
 	var buf bytes.Buffer
 	if err := EncodeSession(&buf, in, m, meta, SimMatrix, 0, 0); err != nil {
 		t.Fatal(err)
@@ -40,7 +43,7 @@ func TestSessionRoundTrip(t *testing.T) {
 	if gotM.MaxSum() != m.MaxSum() || !gotM.Contains(0, 1) {
 		t.Fatal("matching lost")
 	}
-	if gotMeta != meta {
+	if !reflect.DeepEqual(gotMeta, meta) {
 		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
 	}
 }

@@ -218,8 +218,8 @@ func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	meta := store.Meta{ID: req.ID, Sim: req.Sim, Dim: req.Dim, MaxT: req.MaxT}
-	if !store.ValidID(meta.ID) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid instance id %q", meta.ID))
+	if err := meta.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	simFunc, err := meta.SimInfo().Func()
@@ -258,10 +258,9 @@ func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 	s.instances[meta.ID] = inst
 	instancesActive.Add(1)
 	requestLogger(r).Info("instance created", "id", meta.ID, "sim", meta.Sim)
-	w.WriteHeader(http.StatusCreated)
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
-	writeJSON(w, inst.summaryLocked())
+	writeJSONStatus(w, http.StatusCreated, inst.summaryLocked())
 }
 
 // handleListInstances answers GET /instances with every instance's summary,
@@ -356,25 +355,27 @@ type DeltaResponse struct {
 }
 
 // checkAttrs validates an arrival's attribute vector against the instance's
-// similarity definition before anything hits the log.
+// similarity definition before anything hits the log. Meta validation pins
+// Dim > 0 at create time for every similarity kind — cosine included — so a
+// mismatched vector is rejected here and can never reach a similarity
+// kernel (which panics on unequal lengths) or be persisted to the log.
 func (inst *instance) checkAttrs(attrs []float64) error {
-	if inst.meta.Dim > 0 && len(attrs) != inst.meta.Dim {
+	if len(attrs) != inst.meta.Dim {
 		return fmt.Errorf("server: instance %q wants %d attributes, got %d",
 			inst.meta.ID, inst.meta.Dim, len(attrs))
-	}
-	if len(attrs) == 0 {
-		return fmt.Errorf("server: empty attribute vector")
 	}
 	return nil
 }
 
 // logThenApply runs the write-ahead sequence for one validated delta:
-// append the op, apply it to the arranger, then snapshot if the log has
-// drifted far enough. The caller holds inst.mu and has already validated
-// the op, so an apply failure is a log/arranger divergence — it is returned
-// as a 500 and logged loudly, because the log now has one op the memory
-// image does not.
-func (s *service) logThenApply(ctx context.Context, inst *instance, op store.Op) (int64, error) {
+// append the op, apply it to the arranger, record its dirty mark, then
+// snapshot if the log has drifted far enough. mark must run before the
+// snapshot — a snapshot triggered by this very op folds the op away, so
+// only the mark carries its dirty contribution across a restart. The caller
+// holds inst.mu and has already validated the op, so an apply failure is a
+// log/arranger divergence — it is returned as a 500 and logged loudly,
+// because the log now has one op the memory image does not.
+func (s *service) logThenApply(ctx context.Context, inst *instance, op store.Op, mark func()) (int64, error) {
 	var seq int64
 	if inst.wal != nil {
 		var err error
@@ -388,6 +389,7 @@ func (s *service) logThenApply(ctx context.Context, inst *instance, op store.Op)
 			"id", inst.meta.ID, "op", op.Kind, "seq", seq, "err", err)
 		return 0, err
 	}
+	mark()
 	deltaOps(op.Kind).Inc()
 	s.maybeSnapshot(ctx, inst)
 	return seq, nil
@@ -400,8 +402,11 @@ func (s *service) maybeSnapshot(ctx context.Context, inst *instance) {
 	if inst.wal == nil || inst.wal.OpsSinceSnapshot() < s.snapshotEvery {
 		return
 	}
-	// The snapshot must finish even if the delta's client hangs up.
-	if err := inst.wal.WriteSnapshot(context.WithoutCancel(ctx), inst.arr); err != nil {
+	// The snapshot must finish even if the delta's client hangs up. It
+	// carries the pending dirty marks so they survive the ops being folded
+	// away.
+	if err := inst.wal.WriteSnapshot(context.WithoutCancel(ctx), inst.arr,
+		sortedSet(inst.dirtyE), sortedSet(inst.dirtyU)); err != nil {
 		s.log.Error("snapshot failed", "id", inst.meta.ID, "err", err)
 	}
 }
@@ -439,12 +444,11 @@ func (s *service) handleAddEvent(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	seq, err := s.logThenApply(r.Context(), inst, store.Op{
 		Kind: store.OpAddEvent, Attrs: req.Attrs, Cap: req.Cap, Conflicts: req.Conflicts,
-	})
+	}, func() { inst.dirtyE[nv] = true })
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	inst.dirtyE[nv] = true
 	deltaSeconds.Observe(time.Since(start).Seconds())
 	writeJSON(w, DeltaResponse{
 		Op: store.OpAddEvent, ID: &nv, Matched: inst.arr.EventUsers(nv),
@@ -479,12 +483,11 @@ func (s *service) handleAddUser(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	seq, err := s.logThenApply(r.Context(), inst, store.Op{
 		Kind: store.OpAddUser, Attrs: req.Attrs, Cap: req.Cap,
-	})
+	}, func() { inst.dirtyU[nu] = true })
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	inst.dirtyU[nu] = true
 	deltaSeconds.Observe(time.Since(start).Seconds())
 	writeJSON(w, DeltaResponse{
 		Op: store.OpAddUser, ID: &nu, Matched: inst.arr.UserEvents(nu),
@@ -510,6 +513,7 @@ func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	var op store.Op
+	var mark func()
 	kind := store.OpCancelEvent
 	if req.Event != nil {
 		if *req.Event < 0 || *req.Event >= inst.arr.NumEvents() {
@@ -517,6 +521,7 @@ func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		op = store.Op{Kind: store.OpCancelEvent, Event: req.Event}
+		mark = func() { inst.dirtyE[*req.Event] = true }
 	} else {
 		if *req.User < 0 || *req.User >= inst.arr.NumUsers() {
 			writeError(w, http.StatusNotFound, fmt.Errorf("server: no user %d", *req.User))
@@ -524,19 +529,15 @@ func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		kind = store.OpRemoveUser
 		op = store.Op{Kind: store.OpRemoveUser, User: req.User}
+		mark = func() { inst.dirtyU[*req.User] = true }
 	}
 	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
 		Annotate("id", inst.meta.ID).Annotate("op", kind)
 	defer sp.End()
-	seq, err := s.logThenApply(r.Context(), inst, op)
+	seq, err := s.logThenApply(r.Context(), inst, op, mark)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
-	}
-	if req.Event != nil {
-		inst.dirtyE[*req.Event] = true
-	} else {
-		inst.dirtyU[*req.User] = true
 	}
 	deltaSeconds.Observe(time.Since(start).Seconds())
 	writeJSON(w, DeltaResponse{Op: kind, Seq: seq, MaxSum: inst.arr.MaxSum()})

@@ -58,7 +58,11 @@ func TestInstanceLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create: %d %s", resp.StatusCode, body)
 	}
-	// Duplicate id → 409; bad id / unknown sim / matrix → 400.
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("create Content-Type = %q, want application/json", ct)
+	}
+	// Duplicate id → 409; bad id / unknown sim / matrix / missing sim
+	// parameters → 400 (never a handler panic).
 	if resp, body = postStr(t, srv.URL+"/instances", `{"id":"prod","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate create: %d %s", resp.StatusCode, body)
 	}
@@ -67,6 +71,12 @@ func TestInstanceLifecycle(t *testing.T) {
 	}
 	if resp, _ = postStr(t, srv.URL+"/instances", `{"id":"m","sim":"matrix"}`); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("matrix sim: %d", resp.StatusCode)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances", `{"id":"e0","sim":"euclidean"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("euclidean without dim/max_t: %d", resp.StatusCode)
+	}
+	if resp, _ = postStr(t, srv.URL+"/instances", `{"id":"c0","sim":"cosine"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cosine without dim: %d", resp.StatusCode)
 	}
 
 	// Deltas: one event, two users; the greedy placement should match both.
@@ -137,6 +147,44 @@ func TestInstanceLifecycle(t *testing.T) {
 	}
 	if code, _ = getBody(t, srv.URL+"/instances/prod"); code != http.StatusNotFound {
 		t.Fatalf("get after delete: %d", code)
+	}
+}
+
+// TestCosineInstanceRejectsMismatchedVectors: cosine instances pin their
+// dimension at create time, so a wrong-length arrival is a 400 — it must
+// never reach the cosine kernel (which panics on unequal lengths) or be
+// persisted to the log, where it would panic every boot-time replay.
+func TestCosineInstanceRejectsMismatchedVectors(t *testing.T) {
+	dir := t.TempDir()
+	srv := newInstanceServer(t, dir, 0)
+	if resp, body := postStr(t, srv.URL+"/instances", `{"id":"cos","sim":"cosine","dim":2}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postStr(t, srv.URL+"/instances/cos/users", `{"attrs":[1,2],"cap":1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching-length user: %d %s", resp.StatusCode, body)
+	}
+	for _, bad := range []string{`{"attrs":[1],"cap":1}`, `{"attrs":[1,2,3],"cap":1}`, `{"attrs":[],"cap":1}`} {
+		if resp, _ := postStr(t, srv.URL+"/instances/cos/users", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mismatched user %s: %d, want 400", bad, resp.StatusCode)
+		}
+		if resp, _ := postStr(t, srv.URL+"/instances/cos/events", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mismatched event %s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Nothing invalid was logged: a restart over the same directory replays
+	// cleanly and still holds exactly the one valid arrival.
+	srv.Close()
+	srv2 := newInstanceServer(t, dir, 0)
+	code, body := getBody(t, srv2.URL+"/instances/cos")
+	if code != http.StatusOK {
+		t.Fatalf("get after restart: %d %s", code, body)
+	}
+	var status InstanceStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Users != 1 || status.Events != 0 {
+		t.Fatalf("after restart: %+v", status.InstanceSummary)
 	}
 }
 
@@ -240,6 +288,40 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	// The replayed registry still owns the ids.
 	if resp, _ := postStr(t, srv2.URL+"/instances", `{"id":"alpha","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("create replayed id: %d", resp.StatusCode)
+	}
+}
+
+// TestDirtyMarksSurviveSnapshotAndRestart: with snapshot-every=2, the
+// second delta triggers a snapshot that folds both ops away — including the
+// triggering op itself. Its dirty mark must be recorded before the snapshot
+// is written, or a restart would silently drop it and the next scope=dirty
+// rebalance would skip its component.
+func TestDirtyMarksSurviveSnapshotAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv := newInstanceServer(t, dir, 2)
+	if resp, body := postStr(t, srv.URL+"/instances", `{"id":"s","sim":"euclidean","dim":2,"max_t":10}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	postStr(t, srv.URL+"/instances/s/events", `{"attrs":[1,1],"cap":2}`)
+	postStr(t, srv.URL+"/instances/s/users", `{"attrs":[1,2],"cap":1}`) // triggers the snapshot
+	_, body := getBody(t, srv.URL+"/instances/s")
+	var before InstanceStatus
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if len(before.DirtyEvents) != 1 || len(before.DirtyUsers) != 1 {
+		t.Fatalf("pre-restart dirty marks: %+v", before.InstanceSummary)
+	}
+	srv.Close()
+
+	srv2 := newInstanceServer(t, dir, 2)
+	_, body = getBody(t, srv2.URL+"/instances/s")
+	var after InstanceStatus
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.DirtyEvents) != 1 || len(after.DirtyUsers) != 1 {
+		t.Fatalf("dirty marks lost across snapshot+restart: %+v", after.InstanceSummary)
 	}
 }
 

@@ -123,7 +123,15 @@ func solveErrorStatus(err error, fallback int) int {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes v with an explicit status code. Content-Type must
+// be set before WriteHeader flushes the header block, so non-200 JSON
+// responses still carry it.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

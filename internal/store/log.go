@@ -100,8 +100,10 @@ func (l *Log) OpsSinceSnapshot() int { return l.opsSince }
 
 // Append assigns the next seq to op and writes it as one JSONL line in a
 // single Write call (so a hard kill can only tear the final line, which
-// Load detects and drops). Call it before applying the op in memory:
-// write-ahead order means a crash never leaves an applied-but-unlogged op.
+// Load detects and drops), then fsyncs — an acknowledged op survives an OS
+// crash, not just a killed process. Call it before applying the op in
+// memory: write-ahead order means a crash never leaves an
+// applied-but-unlogged op.
 func (l *Log) Append(op Op) (int64, error) {
 	op.Seq = l.seq + 1
 	b, err := json.Marshal(op)
@@ -111,16 +113,22 @@ func (l *Log) Append(op Op) (int64, error) {
 	if _, err := l.f.Write(append(b, '\n')); err != nil {
 		return 0, fmt.Errorf("store: append op %d: %w", op.Seq, err)
 	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("store: sync op %d: %w", op.Seq, err)
+	}
 	l.seq = op.Seq
 	l.opsSince++
 	return op.Seq, nil
 }
 
 // WriteSnapshot archives arr's current state (which must reflect every op
-// appended so far) as an insertion-ordered session covering Seq. The write
-// is atomic: a crash mid-snapshot leaves the previous snapshot intact. A
+// appended so far) as an insertion-ordered session covering Seq, carrying
+// the caller's pending dirty marks (dirtyEvents/dirtyUsers, ascending) so a
+// restart's next scope=dirty rebalance still sees deltas the snapshot
+// folded away. The write is atomic (temp file, fsync, rename, directory
+// sync): a crash mid-snapshot leaves the previous snapshot intact. A
 // recorder on ctx receives one instance/snapshot span.
-func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger) error {
+func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger, dirtyEvents, dirtyUsers []int) error {
 	start := time.Now()
 	sp := obs.RecorderFrom(ctx).Start("instance/snapshot").
 		Annotate("id", l.meta.ID).Annotate("seq", l.seq)
@@ -135,11 +143,16 @@ func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	meta := encoding.SessionMeta{
-		Algorithm: "arranger",
-		CreatedAt: time.Now().UTC(),
-		Seq:       l.seq,
+		Algorithm:   "arranger",
+		CreatedAt:   time.Now().UTC(),
+		Seq:         l.seq,
+		DirtyEvents: dirtyEvents,
+		DirtyUsers:  dirtyUsers,
 	}
 	err = encoding.EncodeSessionOrdered(f, in, m, meta, l.meta.Sim, l.meta.Dim, l.meta.MaxT)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -151,11 +164,28 @@ func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
 	l.snapSeq = l.seq
 	l.opsSince = 0
 	snapshotsTotal.Inc()
 	snapshotSeconds.Observe(time.Since(start).Seconds())
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it survives an
+// OS crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close releases the log's file handle.

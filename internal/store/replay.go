@@ -86,9 +86,14 @@ func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := meta.Validate(); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", dir, err)
+	}
 	st := &State{Meta: meta}
 
 	// Start point: the snapshot when one exists, an empty arranger otherwise.
+	// The snapshot's dirty marks seed the replay's: they are the marks of
+	// deltas the snapshot already folded away.
 	if sf, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
 		in, m, smeta, derr := encoding.DecodeSession(sf)
 		sf.Close()
@@ -101,6 +106,8 @@ func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
 		}
 		st.SnapshotSeq = smeta.Seq
 		st.Seq = smeta.Seq
+		st.DirtyEvents = smeta.DirtyEvents
+		st.DirtyUsers = smeta.DirtyUsers
 	} else {
 		f, ferr := meta.SimInfo().Func()
 		if ferr != nil {
@@ -125,10 +132,11 @@ func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
 }
 
 // replayOpsFile scans ops.jsonl, applying every op with seq > the snapshot
-// seq and rebuilding the dirty marks. A parse failure with nothing but
-// whitespace after it is a torn tail (the hard-kill signature): it is
-// dropped — and, with repair, truncated off the file. A parse failure with
-// valid data after it is corruption and fails the load.
+// seq and rebuilding the dirty marks on top of the snapshot-seeded ones in
+// st. A parse failure with nothing but whitespace after it is a torn tail
+// (the hard-kill signature): it is dropped — and, with repair, truncated
+// off the file. A parse failure with valid data after it is corruption and
+// fails the load.
 func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) error {
 	path := filepath.Join(dir, opsFile)
 	f, err := os.Open(path)
@@ -138,8 +146,8 @@ func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) erro
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	dirtyE := make(map[int]bool)
-	dirtyU := make(map[int]bool)
+	dirtyE := toSet(st.DirtyEvents)
+	dirtyU := toSet(st.DirtyUsers)
 	r := bufio.NewReaderSize(f, 1<<20)
 	var offset, tornAt int64 = 0, -1
 	for {
@@ -159,6 +167,14 @@ func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) erro
 					if op.Seq != st.Seq+1 {
 						f.Close()
 						return fmt.Errorf("store: %s: op seq %d after %d (log gap)", path, op.Seq, st.Seq)
+					}
+					// Arrival vectors were validated against Dim before being
+					// logged; a mismatch here is log corruption and must fail
+					// the load, not panic inside the similarity kernel.
+					if (op.Kind == OpAddEvent || op.Kind == OpAddUser) && len(op.Attrs) != st.Meta.Dim {
+						f.Close()
+						return fmt.Errorf("store: %s: op %d has %d attributes, instance wants %d",
+							path, op.Seq, len(op.Attrs), st.Meta.Dim)
 					}
 					markDirty(st.Arranger, op, dirtyE, dirtyU)
 					if aerr := Apply(st.Arranger, op); aerr != nil {
@@ -228,4 +244,12 @@ func sortedKeys(m map[int]bool) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+func toSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
 }

@@ -10,8 +10,10 @@
 //	                               op seq it covers; written atomically
 //
 // Durability model: every delta is appended to ops.jsonl before it is
-// applied in memory (write-ahead), in a single Write call, so a killed
-// process loses at most the op it was told had not completed yet. Snapshots
+// applied in memory (write-ahead), in a single Write call followed by an
+// fsync, so neither a killed process nor an OS crash loses more than the op
+// the client was told had not completed yet. Snapshot writes are fsynced
+// before the atomic rename and the directory is synced after it. Snapshots
 // bound recovery *time*, not correctness — replay is snapshot (if any) plus
 // the ops with a larger seq. A torn final log line (the signature of a hard
 // kill mid-append) is detected, truncated away, and replay proceeds;
@@ -65,6 +67,34 @@ type Meta struct {
 // SimInfo returns the meta's similarity definition in the encoding form.
 func (m Meta) SimInfo() encoding.SimInfo {
 	return encoding.SimInfo{Kind: m.Sim, Dim: m.Dim, MaxT: m.MaxT}
+}
+
+// Validate checks that the meta describes a servable instance: a valid id
+// and a function similarity with every parameter an online instance needs.
+// Dim > 0 is required for all kinds — cosine included, even though the
+// cosine function itself takes no dimensionality — because Dim is what lets
+// the service reject a wrong-length arrival before it is logged; without it
+// a mismatched vector would reach the similarity kernel, which panics on
+// unequal lengths (and, once logged, would panic again on every replay).
+func (m Meta) Validate() error {
+	if !ValidID(m.ID) {
+		return fmt.Errorf("store: invalid instance id %q", m.ID)
+	}
+	switch m.Sim {
+	case encoding.SimEuclidean, encoding.SimManhattan:
+		if m.MaxT <= 0 {
+			return fmt.Errorf("store: %s similarity needs max_t > 0, got %v", m.Sim, m.MaxT)
+		}
+	case encoding.SimCosine:
+	case encoding.SimMatrix:
+		return fmt.Errorf("store: matrix instances cannot grow online")
+	default:
+		return fmt.Errorf("store: unknown similarity kind %q", m.Sim)
+	}
+	if m.Dim <= 0 {
+		return fmt.Errorf("store: instance needs dim > 0 (got %d) to validate arrival vectors", m.Dim)
+	}
+	return nil
 }
 
 // ValidID reports whether id is usable as an instance name: 1–64 characters
@@ -132,8 +162,8 @@ func (s *Store) List() ([]string, error) {
 // Create allocates a new instance: its directory, meta.json, and an empty
 // op log. It fails if the id is invalid or already exists.
 func (s *Store) Create(meta Meta) (*Log, error) {
-	if !ValidID(meta.ID) {
-		return nil, fmt.Errorf("store: invalid instance id %q", meta.ID)
+	if err := meta.Validate(); err != nil {
+		return nil, err
 	}
 	if _, err := meta.SimInfo().Func(); err != nil {
 		return nil, fmt.Errorf("store: %w", err)

@@ -49,12 +49,23 @@ func TestCreateRejectsDuplicatesAndMatrix(t *testing.T) {
 	if _, err := st.Create(Meta{ID: "bad/id", Sim: encoding.SimEuclidean, Dim: 2, MaxT: 10}); err == nil {
 		t.Fatal("invalid id should be rejected")
 	}
+	// Without a pinned dimension, mixed-length arrivals would reach the
+	// similarity kernel — which panics — so dim is required for every kind,
+	// cosine included, and max_t for the distance-normalized kinds.
+	if _, err := st.Create(Meta{ID: "c0", Sim: encoding.SimCosine}); err == nil {
+		t.Fatal("cosine without dim should be rejected")
+	}
+	if _, err := st.Create(Meta{ID: "e0", Sim: encoding.SimEuclidean, Dim: 2}); err == nil {
+		t.Fatal("euclidean without max_t should be rejected")
+	}
 }
 
 // driveRandomOps applies n random deltas through the write-ahead path
-// (append, then apply), snapshotting roughly every snapEvery ops —
-// exactly the server's discipline, so replay must land on the same state.
-func driveRandomOps(t *testing.T, arr *core.Arranger, l *Log, rng *rand.Rand, n, snapEvery int) {
+// (append, then apply), snapshotting roughly every snapEvery ops — exactly
+// the server's discipline, so replay must land on the same state. It
+// mirrors the service's dirty tracking into dirtyE/dirtyU (and hands the
+// marks to WriteSnapshot), so callers can assert replay recovers them too.
+func driveRandomOps(t *testing.T, arr *core.Arranger, l *Log, rng *rand.Rand, n, snapEvery int, dirtyE, dirtyU map[int]bool) {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		var op Op
@@ -67,16 +78,20 @@ func driveRandomOps(t *testing.T, arr *core.Arranger, l *Log, rng *rand.Rand, n,
 			for k := 0; k < rng.Intn(3) && arr.NumEvents() > 0; k++ {
 				op.Conflicts = append(op.Conflicts, rng.Intn(arr.NumEvents()))
 			}
+			dirtyE[arr.NumEvents()] = true
 		case r < 7: // add user
 			op = Op{Kind: OpAddUser,
 				Attrs: []float64{rng.Float64() * 10, rng.Float64() * 10},
 				Cap:   1 + rng.Intn(2)}
+			dirtyU[arr.NumUsers()] = true
 		case r < 8 && arr.NumEvents() > 0: // cancel event
 			v := rng.Intn(arr.NumEvents())
 			op = Op{Kind: OpCancelEvent, Event: &v}
+			dirtyE[v] = true
 		case r < 9 && arr.NumUsers() > 0: // remove user
 			u := rng.Intn(arr.NumUsers())
 			op = Op{Kind: OpRemoveUser, User: &u}
+			dirtyU[u] = true
 		default: // rebalance
 			res, err := decomp.RebalanceScoped(context.Background(), arr, "greedy",
 				nil, nil, true, decomp.Options{Seed: 7})
@@ -92,6 +107,8 @@ func driveRandomOps(t *testing.T, arr *core.Arranger, l *Log, rng *rand.Rand, n,
 			if _, err := l.Append(op); err != nil {
 				t.Fatalf("op %d: append: %v", i, err)
 			}
+			clear(dirtyE)
+			clear(dirtyU)
 			continue // rebalance already mutated arr
 		}
 		if _, err := l.Append(op); err != nil {
@@ -101,7 +118,7 @@ func driveRandomOps(t *testing.T, arr *core.Arranger, l *Log, rng *rand.Rand, n,
 			t.Fatalf("op %d: apply %s: %v", i, op.Kind, err)
 		}
 		if snapEvery > 0 && l.OpsSinceSnapshot() >= snapEvery {
-			if err := l.WriteSnapshot(context.Background(), arr); err != nil {
+			if err := l.WriteSnapshot(context.Background(), arr, sortedKeys(dirtyE), sortedKeys(dirtyU)); err != nil {
 				t.Fatalf("op %d: snapshot: %v", i, err)
 			}
 		}
@@ -127,6 +144,28 @@ func sameArrangement(t *testing.T, want, got *core.Arranger) {
 	}
 	if want.MaxSum() != got.MaxSum() {
 		t.Fatalf("MaxSum mismatch: want %x, got %x", want.MaxSum(), got.MaxSum())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameDirty asserts a replayed State recovered exactly the dirty marks the
+// live instance held.
+func sameDirty(t *testing.T, st *State, dirtyE, dirtyU map[int]bool) {
+	t.Helper()
+	if !equalInts(st.DirtyEvents, sortedKeys(dirtyE)) || !equalInts(st.DirtyUsers, sortedKeys(dirtyU)) {
+		t.Fatalf("dirty marks not recovered: got events %v users %v, want events %v users %v",
+			st.DirtyEvents, st.DirtyUsers, sortedKeys(dirtyE), sortedKeys(dirtyU))
 	}
 }
 
@@ -160,7 +199,8 @@ func TestReplayReproducesArrangement(t *testing.T) {
 			if trial%2 == 1 {
 				snapEvery = 5 + trial
 			}
-			driveRandomOps(t, arr, l, rng, 120, snapEvery)
+			dirtyE, dirtyU := map[int]bool{}, map[int]bool{}
+			driveRandomOps(t, arr, l, rng, 120, snapEvery, dirtyE, dirtyU)
 			if err := l.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -171,13 +211,14 @@ func TestReplayReproducesArrangement(t *testing.T) {
 			}
 			defer l2.Close()
 			sameArrangement(t, arr, state.Arranger)
+			sameDirty(t, state, dirtyE, dirtyU)
 			if state.Seq == 0 {
 				t.Fatal("replayed seq should not be zero after 120 ops")
 			}
 
 			// Keep going on the replayed instance and replay again: the log
 			// must stay appendable after recovery.
-			driveRandomOps(t, state.Arranger, l2, rng, 40, snapEvery)
+			driveRandomOps(t, state.Arranger, l2, rng, 40, snapEvery, dirtyE, dirtyU)
 			if err := l2.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -187,6 +228,7 @@ func TestReplayReproducesArrangement(t *testing.T) {
 			}
 			defer l3.Close()
 			sameArrangement(t, state.Arranger, state2.Arranger)
+			sameDirty(t, state2, dirtyE, dirtyU)
 		})
 	}
 }
@@ -209,7 +251,7 @@ func TestReplayTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	driveRandomOps(t, arr, l, rand.New(rand.NewSource(9)), 30, 0)
+	driveRandomOps(t, arr, l, rand.New(rand.NewSource(9)), 30, 0, map[int]bool{}, map[int]bool{})
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -345,6 +387,85 @@ func TestLoadDirDoesNotRepair(t *testing.T) {
 	}
 }
 
+// TestSnapshotPreservesDirtyMarks is the regression test for marks lost to
+// snapshot folding: a delta's op is absorbed into a snapshot before any
+// rebalance, the process dies, and replay must still report the delta's
+// dirty mark (from the snapshot meta — the op itself is skipped).
+func TestSnapshotPreservesDirtyMarks(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{ID: "dirty", Sim: encoding.SimEuclidean, Dim: 2, MaxT: 10}
+	l, err := st.Create(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := meta.SimInfo().Func()
+	arr, err := core.NewArranger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Kind: OpAddEvent, Attrs: []float64{1, 1}, Cap: 1}
+	if _, err := l.Append(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(arr, op); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(context.Background(), arr, []int{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, l2, err := st.Load(context.Background(), "dirty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if state.ReplayedOps != 0 {
+		t.Fatalf("replayed %d ops, want 0 (the op was folded into the snapshot)", state.ReplayedOps)
+	}
+	if !equalInts(state.DirtyEvents, []int{0}) || len(state.DirtyUsers) != 0 {
+		t.Fatalf("dirty marks lost across snapshot: events %v, users %v",
+			state.DirtyEvents, state.DirtyUsers)
+	}
+}
+
+// TestReplayRejectsWrongDimension: an op whose attribute vector disagrees
+// with the instance's dim (only possible via a corrupted or hand-edited
+// log) must fail the load with an error, not panic inside the similarity
+// kernel and crash-loop the server on every boot.
+func TestReplayRejectsWrongDimension(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{ID: "wrongdim", Sim: encoding.SimCosine, Dim: 2}
+	l, err := st.Create(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Op{Kind: OpAddUser, Attrs: []float64{1, 2}, Cap: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(st.InstanceDir("wrongdim"), opsFile)
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.WriteString(`{"seq":2,"op":"add_user","attrs":[1],"cap":1}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	if _, _, err := st.Load(context.Background(), "wrongdim"); err == nil {
+		t.Fatal("mismatched attribute dimension should fail the load")
+	}
+}
+
 // TestListAndDelete covers the directory lifecycle.
 func TestListAndDelete(t *testing.T) {
 	st, err := Open(t.TempDir())
@@ -352,7 +473,7 @@ func TestListAndDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"b", "a", "c"} {
-		l, err := st.Create(Meta{ID: id, Sim: encoding.SimCosine})
+		l, err := st.Create(Meta{ID: id, Sim: encoding.SimCosine, Dim: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
