@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/obs ./internal/server ./internal/core ./internal/decomp 
 BENCH     ?= .
 BENCH_FLAGS := -benchmem -benchtime=1x
 
-.PHONY: build test test-service race race-all vet bench bench-json bench-compare cover clean run-server help
+.PHONY: build test test-service smoke-probes race race-all vet bench bench-json bench-compare cover clean run-server help
 
 ## build: compile every package and the command-line tools
 build:
@@ -22,6 +22,10 @@ test:
 ## test-service: service crash-recovery e2e (build binary, stream deltas, kill -9, restart, verify)
 test-service:
 	GEACC_E2E=1 $(GO) test -run TestServiceE2E -v ./cmd/geacc-server
+
+## smoke-probes: boot a real geacc-server and exercise healthz/readyz/statusz/metrics/stats once
+smoke-probes:
+	./scripts/smoke_probes.sh
 
 ## race: race-detector pass over the concurrency-heavy packages
 race:

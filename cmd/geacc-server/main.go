@@ -15,6 +15,11 @@
 //	curl -XPOST -d '{"attrs":[1,1],"cap":1}' localhost:8080/instances/prod/users
 //	curl -XPOST 'localhost:8080/instances/prod/rebalance?scope=dirty'
 //	curl localhost:8080/instances/prod
+//	curl localhost:8080/instances/prod/stats   # WAL drift, gap, op counts
+//	curl localhost:8080/healthz                # liveness
+//	curl localhost:8080/readyz                 # readiness (503 during replay)
+//	curl localhost:8080/statusz                # build, uptime, SLO windows
+//	curl localhost:8080/version                # build identity
 //	curl localhost:8080/metrics                # Prometheus text exposition
 //	curl localhost:8080/debug/vars             # metrics (expvar, always on)
 //	curl localhost:6060/debug/pprof/           # profiles (only with -debug-addr)
@@ -38,10 +43,12 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"time"
 
+	"github.com/ebsnlab/geacc/internal/buildinfo"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/server"
 )
@@ -56,7 +63,13 @@ func main() {
 		"persist named instances (op logs + snapshots) under this directory; empty keeps them in memory")
 	snapshotEvery := flag.Int("snapshot-every", server.DefaultSnapshotEvery,
 		"with -data-dir, fold an instance's op log into a snapshot every N ops")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -64,15 +77,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Replay runs lazily: the listener comes up immediately and /readyz
+	// answers 503 until every persisted instance is back, so a restart
+	// behind a load balancer fails its readiness probe instead of its TCP
+	// connects while a large op log replays.
 	handler, err := server.NewWithConfig(server.Config{
 		Logger:        logger,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapshotEvery,
+		LazyReplay:    true,
 	})
 	if err != nil {
-		logger.Error("startup replay failed", "error", err)
+		logger.Error("startup failed", "error", err)
 		os.Exit(1)
 	}
+	logger.Info("starting", "version", buildinfo.Get().String())
 
 	if *debugAddr != "" {
 		dbg := &http.Server{

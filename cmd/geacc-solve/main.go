@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/ebsnlab/geacc/internal/buildinfo"
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
@@ -65,8 +66,13 @@ func run(args []string, stdout io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write solver spans as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Get())
+		return nil
 	}
 	if *inPath == "" && *replayDir == "" {
 		fs.Usage()

@@ -1,0 +1,83 @@
+// Package buildinfo reports what binary is running: module version, Go
+// toolchain, and VCS revision, all read from the build metadata the Go
+// linker already embeds (runtime/debug.ReadBuildInfo) — no ldflags or
+// external stamping required. Every geacc binary surfaces it: the CLIs via
+// -version, geacc-server additionally via GET /version, /statusz, and the
+// geacc_build_info metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version: a tag for released builds,
+	// "(devel)" for source builds.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Time are the VCS commit the binary was built from,
+	// when the build ran inside a checkout; Modified marks a dirty tree.
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	once sync.Once
+	info Info
+
+	// start anchors process uptime; taken at init so every surface
+	// (metrics, /statusz) agrees on when "up" began.
+	start = time.Now()
+)
+
+// Get returns the binary's build identity, read once and cached.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "(unknown)", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.time":
+				info.Time = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	})
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "no vcs"
+	} else if i.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("geacc %s (%s, %s)", i.Version, rev, i.GoVersion)
+}
+
+// StartTime is when the process started (package init time).
+func StartTime() time.Time { return start }
+
+// Uptime is how long the process has been running.
+func Uptime() time.Duration { return time.Since(start) }

@@ -92,7 +92,7 @@ type RebalanceResult struct {
 func RebalanceScoped(ctx context.Context, arr *core.Arranger, algo string,
 	dirtyEvents, dirtyUsers []int, full bool, opt Options) (RebalanceResult, error) {
 	res := RebalanceResult{}
-	sp := obs.RecorderFrom(ctx).Start("instance/rebalance").Annotate("algo", algo)
+	sp := obs.StartSpan(ctx, "instance/rebalance").Annotate("algo", algo)
 	defer sp.End()
 
 	in, cur, err := arr.Snapshot()

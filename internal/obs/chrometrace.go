@@ -35,9 +35,18 @@ type chromeTrace struct {
 // annotations become the event's args. A nil/empty span list yields a
 // valid trace with an empty traceEvents array.
 func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	return WriteChromeTraceMeta(w, spans, nil)
+}
+
+// WriteChromeTraceMeta is WriteChromeTrace with trace-level metadata: the
+// given pairs land in the document's otherData block (Perfetto shows them
+// in the trace info panel). The server uses it to stamp an exported trace
+// with the request ID that produced it.
+func WriteChromeTraceMeta(w io.Writer, spans []SpanData, other map[string]string) error {
 	doc := chromeTrace{
 		TraceEvents:     make([]chromeEvent, 0, len(spans)),
 		DisplayTimeUnit: "ms",
+		OtherData:       other,
 	}
 	var origin time.Time
 	for _, sp := range spans {

@@ -190,6 +190,74 @@ func escapeLabelValue(v string) string {
 	return v
 }
 
+// WritePrometheusWindows renders rolling windows (see Window) into the
+// Prometheus text exposition format. Keys are Label-encoded series names
+// exactly as Registry instruments use them; every window is expanded over
+// the StandardWindows horizons into three gauge families:
+//
+//	<name>{<labels>,window="1m",quantile="0.5"} p50   (also 0.9, 0.99)
+//	<name>_rate{<labels>,window="1m"} requests/sec
+//	<name>_error_rate{<labels>,window="1m"} errors/sec
+//
+// Quantile series are omitted while a horizon holds no samples (a gauge
+// reporting "no data" as 0 would read as a zero-latency SLO); rate series
+// are always present. Output is deterministic: families sort by name,
+// series by label string, matching WritePrometheus.
+func WritePrometheusWindows(w io.Writer, windows map[string]*Window) error {
+	type family struct {
+		lines []string
+	}
+	families := make(map[string]*family)
+	add := func(fam, line string) {
+		f := families[fam]
+		if f == nil {
+			f = &family{}
+			families[fam] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	names := make([]string, 0, len(windows))
+	for name := range windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitSeries(name)
+		for _, horizon := range StandardWindows {
+			st := windows[name].Stats(horizon.Dur)
+			wl := withLabel(labels, "window", horizon.Name)
+			if st.Samples > 0 {
+				for _, q := range []struct {
+					label string
+					v     float64
+				}{{"0.5", st.P50}, {"0.9", st.P90}, {"0.99", st.P99}} {
+					add(base, fmt.Sprintf("%s%s %s",
+						base, withLabel(wl, "quantile", q.label), formatFloat(q.v)))
+				}
+			}
+			add(base+"_rate", fmt.Sprintf("%s_rate%s %s", base, wl, formatFloat(st.RatePerSec)))
+			add(base+"_error_rate", fmt.Sprintf("%s_error_rate%s %s", base, wl, formatFloat(st.ErrorPerSec)))
+		}
+	}
+	fams := make([]string, 0, len(families))
+	for name := range families {
+		fams = append(fams, name)
+	}
+	sort.Strings(fams)
+	for _, name := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		sort.Strings(families[name].lines)
+		for _, line := range families[name].lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // formatFloat renders a float the way Prometheus expects: shortest
 // round-trip representation, +Inf/-Inf/NaN spelled out.
 func formatFloat(v float64) string {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs correlate one HTTP request across every observability
+// surface: the X-Request-ID response header, the slog request and domain
+// log lines, the spans (and therefore Chrome trace events) the request
+// emitted, and JSON error bodies. The server middleware assigns one per
+// request (honoring a well-formed inbound X-Request-ID) and stores it on
+// the context; everything downstream reads it with RequestIDFrom.
+
+// reqidFallback numbers request IDs when the system entropy source fails —
+// vanishingly rare, but an observability layer must not error out over it.
+var reqidFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%d", reqidFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether an inbound X-Request-ID is safe to adopt:
+// 1–64 characters from [a-zA-Z0-9._-], so a hostile header cannot smuggle
+// newlines into logs or unbounded values into response headers.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches a request ID to ctx.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID attached to ctx, or "" when the
+// work is not request-scoped (CLI runs, background snapshots).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// StartSpan opens a span on the recorder attached to ctx (nil-safe, like
+// Recorder.Start) and stamps it with the context's request ID when one is
+// present — so any span started through this helper is correlatable with
+// the request's log lines and response header, including after a Chrome
+// trace export (the annotation becomes the trace event's args.request_id).
+func StartSpan(ctx context.Context, name string) *Span {
+	sp := RecorderFrom(ctx).Start(name)
+	if id := RequestIDFrom(ctx); id != "" {
+		sp.Annotate("request_id", id)
+	}
+	return sp
+}

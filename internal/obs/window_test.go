@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock freezes a window at t; tests mutate the pointee to rotate.
+func fixedClock(t *time.Time) func() time.Time {
+	return func() time.Time { return *t }
+}
+
+// exactQuantile is the plain nearest-rank order statistic the window must
+// reproduce while no bucket has overflowed.
+func exactQuantile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestWindowExactQuantilesUnderReservoir(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	w := NewWindow(15*time.Minute, 10*time.Second, 512)
+	w.SetClock(fixedClock(&now))
+
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 400) // < reservoir: every value retained
+	for i := range values {
+		values[i] = rng.Float64() * 10
+		w.Observe(values[i], i%10 == 0)
+	}
+	sort.Float64s(values)
+
+	st := w.Stats(time.Minute)
+	if st.Count != 400 || st.Errors != 40 {
+		t.Fatalf("count/errors = %d/%d, want 400/40", st.Count, st.Errors)
+	}
+	if st.Sampled {
+		t.Fatal("Sampled = true below the reservoir size")
+	}
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{{0.5, st.P50, "p50"}, {0.9, st.P90, "p90"}, {0.99, st.P99, "p99"}} {
+		if want := exactQuantile(values, q.p); q.got != want {
+			t.Errorf("%s = %v, want exact %v", q.name, q.got, want)
+		}
+	}
+	if want := float64(400) / 60; math.Abs(st.RatePerSec-want) > 1e-12 {
+		t.Errorf("rate = %v, want %v", st.RatePerSec, want)
+	}
+}
+
+func TestWindowSampledQuantilesWithinError(t *testing.T) {
+	now := time.Unix(2_000_000, 0)
+	w := NewWindow(15*time.Minute, 10*time.Second, 512)
+	w.SetClock(fixedClock(&now))
+
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64() // uniform [0,1): quantile value ≈ p
+		w.Observe(values[i], false)
+	}
+	sort.Float64s(values)
+
+	st := w.Stats(time.Minute)
+	if !st.Sampled {
+		t.Fatal("Sampled = false after overflowing the reservoir")
+	}
+	if st.Count != n {
+		t.Fatalf("count = %d, want %d", st.Count, n)
+	}
+	// Documented bound: rank error ~sqrt(p(1-p)/m)·N. With m=512 that is
+	// ≤ ~2.2% of N at p=0.5; allow 3 standard errors on the value scale
+	// (values are uniform, so rank error ≈ value error).
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{{0.5, st.P50, "p50"}, {0.9, st.P90, "p90"}, {0.99, st.P99, "p99"}} {
+		want := exactQuantile(values, q.p)
+		tol := 3 * math.Sqrt(q.p*(1-q.p)/512)
+		if math.Abs(q.got-want) > tol {
+			t.Errorf("%s = %v, want %v ± %v", q.name, q.got, want, tol)
+		}
+	}
+}
+
+func TestWindowBucketRotationMonotonicity(t *testing.T) {
+	now := time.Unix(3_000_000, 0)
+	w := NewWindow(15*time.Minute, 10*time.Second, 64)
+	w.SetClock(fixedClock(&now))
+
+	for i := 0; i < 30; i++ {
+		w.Observe(1, false)
+	}
+	if got := w.Stats(time.Minute).Count; got != 30 {
+		t.Fatalf("count = %d, want 30", got)
+	}
+
+	// As the clock advances bucket by bucket, the old observations age out
+	// of the 1m horizon monotonically and are gone past 6 buckets.
+	prev := int64(30)
+	for step := 1; step <= 8; step++ {
+		now = now.Add(10 * time.Second)
+		got := w.Stats(time.Minute).Count
+		if got > prev {
+			t.Fatalf("step %d: count %d > previous %d (window grew while aging)", step, got, prev)
+		}
+		prev = got
+	}
+	if prev != 0 {
+		t.Fatalf("count = %d after aging past the 1m horizon, want 0", prev)
+	}
+	// The 15m horizon still sees them.
+	if got := w.Stats(15 * time.Minute).Count; got != 30 {
+		t.Fatalf("15m count = %d, want 30", got)
+	}
+	// And once the ring wraps fully, the slots are reused clean.
+	now = now.Add(20 * time.Minute)
+	if got := w.Stats(15 * time.Minute).Count; got != 0 {
+		t.Fatalf("15m count = %d after a full ring wrap, want 0", got)
+	}
+}
+
+func TestWindowSpreadAcrossBuckets(t *testing.T) {
+	now := time.Unix(4_000_000, 0)
+	w := NewWindow(15*time.Minute, 10*time.Second, 512)
+	w.SetClock(fixedClock(&now))
+
+	// 5 observations in each of 6 consecutive buckets; the merged 1m view
+	// must see all 30 and the exact quantiles of the union.
+	var all []float64
+	for b := 0; b < 6; b++ {
+		for i := 0; i < 5; i++ {
+			v := float64(b*5 + i)
+			all = append(all, v)
+			w.Observe(v, false)
+		}
+		if b < 5 {
+			now = now.Add(10 * time.Second)
+		}
+	}
+	sort.Float64s(all)
+	st := w.Stats(time.Minute)
+	if st.Count != 30 {
+		t.Fatalf("count = %d, want 30", st.Count)
+	}
+	if want := exactQuantile(all, 0.9); st.P90 != want {
+		t.Fatalf("p90 = %v, want %v", st.P90, want)
+	}
+}
+
+func TestWindowEmptyStats(t *testing.T) {
+	w := NewWindow(0, 0, 0) // defaults
+	st := w.Stats(time.Minute)
+	if st.Count != 0 || st.Samples != 0 || st.P99 != 0 || st.RatePerSec != 0 {
+		t.Fatalf("empty window stats not zero: %+v", st)
+	}
+}
+
+func TestWindowConcurrentObserve(t *testing.T) {
+	w := NewWindow(time.Minute, time.Second, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w.Observe(float64(i%100), i%7 == 0)
+				if i%500 == 0 {
+					_ = w.Stats(time.Minute)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats(time.Minute)
+	if st.Count != 8*2000 {
+		t.Fatalf("count = %d, want %d", st.Count, 8*2000)
+	}
+}
+
+func TestWritePrometheusWindows(t *testing.T) {
+	now := time.Unix(5_000_000, 0)
+	w := NewWindow(15*time.Minute, 10*time.Second, 512)
+	w.SetClock(fixedClock(&now))
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i)/100, i > 95) // p50=0.5, p90=0.9, p99=0.99; 5 errors
+	}
+
+	var b strings.Builder
+	err := WritePrometheusWindows(&b, map[string]*Window{
+		Label("geacc_http_window_seconds", "path", "/solve"): w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE geacc_http_window_seconds gauge\n",
+		`geacc_http_window_seconds{path="/solve",window="1m",quantile="0.5"} 0.5` + "\n",
+		`geacc_http_window_seconds{path="/solve",window="1m",quantile="0.9"} 0.9` + "\n",
+		`geacc_http_window_seconds{path="/solve",window="1m",quantile="0.99"} 0.99` + "\n",
+		"# TYPE geacc_http_window_seconds_rate gauge\n",
+		`geacc_http_window_seconds_rate{path="/solve",window="1m"} 1.6666666666666667` + "\n",
+		"# TYPE geacc_http_window_seconds_error_rate gauge\n",
+		`geacc_http_window_seconds_error_rate{path="/solve",window="15m"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Quantile lines must be omitted for horizons with no samples — here
+	// every horizon has the same single bucket, so all three carry them;
+	// an empty window renders rates only.
+	var empty strings.Builder
+	w2 := NewWindow(0, 0, 0)
+	if err := WritePrometheusWindows(&empty, map[string]*Window{"geacc_empty_window": w2}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "quantile") {
+		t.Fatalf("empty window rendered quantile series:\n%s", empty.String())
+	}
+	if !strings.Contains(empty.String(), `geacc_empty_window_rate{window="1m"} 0`) {
+		t.Fatalf("empty window missing rate series:\n%s", empty.String())
+	}
+}

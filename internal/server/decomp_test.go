@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -155,7 +156,11 @@ func TestSolveDecomposeCancelMidShard(t *testing.T) {
 	rr := httptest.NewRecorder()
 	timer := time.AfterFunc(2*time.Millisecond, cancel)
 	defer timer.Stop()
-	handleSolve(rr, req)
+	svc, err := newService(slog.Default(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.handleSolve(rr, req)
 	if rr.Code != statusClientClosedRequest {
 		t.Fatalf("status %d, want %d", rr.Code, statusClientClosedRequest)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
@@ -23,6 +24,14 @@ import (
 // the service folds them into a fresh snapshot (geacc-server
 // -snapshot-every overrides it).
 const DefaultSnapshotEvery = 256
+
+// DefaultReadyMaxInflight is the in-flight request count above which
+// /readyz reports overload (Config.ReadyMaxInflight overrides it).
+const DefaultReadyMaxInflight = 256
+
+// rebalanceHistory bounds each instance's ring of recent rebalance
+// outcomes (GET /instances/{id}/stats).
+const rebalanceHistory = 16
 
 // Instance-service observability; catalog in docs/OBSERVABILITY.md.
 var (
@@ -38,12 +47,26 @@ func deltaOps(op string) *obs.Counter {
 // arrangers, each with its own lock and (when a data directory is
 // configured) its own write-ahead log + snapshot pair.
 type service struct {
-	log           *slog.Logger
-	st            *store.Store // nil: instances are ephemeral
-	snapshotEvery int
+	log              *slog.Logger
+	st               *store.Store // nil: instances are ephemeral
+	snapshotEvery    int
+	readyMaxInflight int64
+
+	// ready flips true once startup replay has finished; the instance
+	// endpoints and /readyz gate on it. replayErr holds the failure message
+	// when a lazy replay died (the process stays up but never goes ready).
+	ready     atomic.Bool
+	replayErr atomic.Pointer[string]
 
 	mu        sync.RWMutex
 	instances map[string]*instance
+
+	// Rolling SLO windows, lazily minted per bounded label value (metricPath
+	// output for HTTP, registry solver names for solves). Per-service rather
+	// than per-process so tests get isolated windows.
+	winMu        sync.Mutex
+	httpWindows  map[string]*obs.Window
+	solveWindows map[string]*obs.Window
 }
 
 // instance is one named arranger plus its persistence handle and the dirty
@@ -58,24 +81,52 @@ type instance struct {
 
 	dirtyE map[int]bool
 	dirtyU map[int]bool
+
+	// opCounts tallies applied ops by kind over the instance's lifetime
+	// (seeded from the full log scan on replay, so it survives restarts);
+	// rebalances is a bounded ring of recent rebalance outcomes, newest
+	// last. Both serve GET /instances/{id}/stats.
+	opCounts   map[string]int64
+	rebalances []RebalanceOutcome
+}
+
+// recordRebalance appends one outcome to the bounded ring; callers hold
+// inst.mu.
+func (inst *instance) recordRebalance(o RebalanceOutcome) {
+	inst.rebalances = append(inst.rebalances, o)
+	if len(inst.rebalances) > rebalanceHistory {
+		inst.rebalances = inst.rebalances[len(inst.rebalances)-rebalanceHistory:]
+	}
 }
 
 // newService opens (or creates) the data directory and replays every
-// instance found in it. An empty dataDir disables persistence: instances
+// instance found in it — synchronously by default, in the background with
+// cfg.LazyReplay (the service starts unready and flips ready when replay
+// finishes; a replay failure leaves it permanently unready with the error
+// surfaced on /readyz). An empty DataDir disables persistence: instances
 // live and die with the process.
-func newService(log *slog.Logger, dataDir string, snapshotEvery int) (*service, error) {
+func newService(log *slog.Logger, cfg Config) (*service, error) {
+	snapshotEvery := cfg.SnapshotEvery
 	if snapshotEvery <= 0 {
 		snapshotEvery = DefaultSnapshotEvery
 	}
-	s := &service{
-		log:           log,
-		snapshotEvery: snapshotEvery,
-		instances:     make(map[string]*instance),
+	maxInflight := int64(cfg.ReadyMaxInflight)
+	if maxInflight <= 0 {
+		maxInflight = DefaultReadyMaxInflight
 	}
-	if dataDir == "" {
+	s := &service{
+		log:              log,
+		snapshotEvery:    snapshotEvery,
+		readyMaxInflight: maxInflight,
+		instances:        make(map[string]*instance),
+		httpWindows:      make(map[string]*obs.Window),
+		solveWindows:     make(map[string]*obs.Window),
+	}
+	if cfg.DataDir == "" {
+		s.ready.Store(true)
 		return s, nil
 	}
-	st, err := store.Open(dataDir)
+	st, err := store.Open(cfg.DataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -84,28 +135,59 @@ func newService(log *slog.Logger, dataDir string, snapshotEvery int) (*service, 
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.LazyReplay {
+		if err := s.replayAll(ids, nil); err != nil {
+			return nil, err
+		}
+		s.ready.Store(true)
+		return s, nil
+	}
+	go func() {
+		if err := s.replayAll(ids, cfg.replayHold); err != nil {
+			msg := err.Error()
+			s.replayErr.Store(&msg)
+			s.log.Error("startup replay failed; instance endpoints stay unavailable", "err", err)
+			return
+		}
+		s.ready.Store(true)
+	}()
+	return s, nil
+}
+
+// replayAll loads every listed instance into the registry. hold, when
+// non-nil, delays the start until it is closed (test hook).
+func (s *service) replayAll(ids []string, hold chan struct{}) error {
+	if hold != nil {
+		<-hold
+	}
 	for _, id := range ids {
 		start := time.Now()
-		state, wal, err := st.Load(context.Background(), id)
+		state, wal, err := s.st.Load(context.Background(), id)
 		if err != nil {
-			return nil, fmt.Errorf("server: replaying instance %q: %w", id, err)
+			return fmt.Errorf("server: replaying instance %q: %w", id, err)
 		}
 		inst := &instance{
-			meta:   state.Meta,
-			arr:    state.Arranger,
-			wal:    wal,
-			dirtyE: toSet(state.DirtyEvents),
-			dirtyU: toSet(state.DirtyUsers),
+			meta:     state.Meta,
+			arr:      state.Arranger,
+			wal:      wal,
+			dirtyE:   toSet(state.DirtyEvents),
+			dirtyU:   toSet(state.DirtyUsers),
+			opCounts: state.OpCounts,
 		}
+		if inst.opCounts == nil {
+			inst.opCounts = make(map[string]int64)
+		}
+		s.mu.Lock()
 		s.instances[id] = inst
+		s.mu.Unlock()
 		instancesActive.Add(1)
-		log.Info("instance replayed",
+		s.log.Info("instance replayed",
 			"id", id, "seq", state.Seq, "snapshot_seq", state.SnapshotSeq,
 			"replayed_ops", state.ReplayedOps,
 			"events", state.Arranger.NumEvents(), "users", state.Arranger.NumUsers(),
 			"seconds", time.Since(start).Seconds())
 	}
-	return s, nil
+	return nil
 }
 
 func toSet(ids []int) map[int]bool {
@@ -126,14 +208,33 @@ func sortedSet(m map[int]bool) []int {
 }
 
 // get returns the named instance or writes a 404.
-func (s *service) get(w http.ResponseWriter, id string) (*instance, bool) {
+func (s *service) get(w http.ResponseWriter, r *http.Request, id string) (*instance, bool) {
 	s.mu.RLock()
 	inst, ok := s.instances[id]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
 	}
 	return inst, ok
+}
+
+// gateReady refuses instance traffic with 503 + Retry-After while startup
+// replay is still running (the registry is incomplete: a delta accepted now
+// could collide with, or shadow, an instance the replay is about to load)
+// or after it failed.
+func (s *service) gateReady(w http.ResponseWriter, r *http.Request) bool {
+	if s.ready.Load() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	if msg := s.replayErr.Load(); msg != nil {
+		writeError(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("server: startup replay failed: %s", *msg))
+		return false
+	}
+	writeError(w, r, http.StatusServiceUnavailable,
+		errors.New("server: replaying persisted instances; retry shortly"))
+	return false
 }
 
 // CreateInstanceRequest is the POST /instances body: the instance's name and
@@ -205,7 +306,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: %w", err))
 		return false
 	}
 	return true
@@ -213,47 +314,51 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // handleCreateInstance registers a new named instance: POST /instances.
 func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
+	if !s.gateReady(w, r) {
+		return
+	}
 	var req CreateInstanceRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	meta := store.Meta{ID: req.ID, Sim: req.Sim, Dim: req.Dim, MaxT: req.MaxT}
 	if err := meta.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	simFunc, err := meta.SimInfo().Func()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.instances[meta.ID]; ok {
-		writeError(w, http.StatusConflict, fmt.Errorf("server: instance %q already exists", meta.ID))
+		writeError(w, r, http.StatusConflict, fmt.Errorf("server: instance %q already exists", meta.ID))
 		return
 	}
 	var wal *store.Log
 	if s.st != nil {
 		wal, err = s.st.Create(meta)
 		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			writeError(w, r, http.StatusConflict, err)
 			return
 		}
 		meta = wal.Meta()
 	}
 	arr, err := core.NewArranger(simFunc)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	inst := &instance{
-		meta:   meta,
-		arr:    arr,
-		wal:    wal,
-		dirtyE: make(map[int]bool),
-		dirtyU: make(map[int]bool),
+		meta:     meta,
+		arr:      arr,
+		wal:      wal,
+		dirtyE:   make(map[int]bool),
+		dirtyU:   make(map[int]bool),
+		opCounts: make(map[string]int64),
 	}
 	s.instances[meta.ID] = inst
 	instancesActive.Add(1)
@@ -265,7 +370,10 @@ func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 
 // handleListInstances answers GET /instances with every instance's summary,
 // sorted by id.
-func (s *service) handleListInstances(w http.ResponseWriter, _ *http.Request) {
+func (s *service) handleListInstances(w http.ResponseWriter, r *http.Request) {
+	if !s.gateReady(w, r) {
+		return
+	}
 	s.mu.RLock()
 	insts := make([]*instance, 0, len(s.instances))
 	for _, inst := range s.instances {
@@ -284,7 +392,10 @@ func (s *service) handleListInstances(w http.ResponseWriter, _ *http.Request) {
 
 // handleGetInstance answers GET /instances/{id} with the full status.
 func (s *service) handleGetInstance(w http.ResponseWriter, r *http.Request) {
-	inst, ok := s.get(w, r.PathValue("id"))
+	if !s.gateReady(w, r) {
+		return
+	}
+	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -296,6 +407,9 @@ func (s *service) handleGetInstance(w http.ResponseWriter, r *http.Request) {
 // handleDeleteInstance removes an instance and, when persistent, its files:
 // DELETE /instances/{id}.
 func (s *service) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
+	if !s.gateReady(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	s.mu.Lock()
 	inst, ok := s.instances[id]
@@ -305,7 +419,7 @@ func (s *service) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("server: no instance %q", id))
 		return
 	}
 	inst.mu.Lock()
@@ -315,7 +429,7 @@ func (s *service) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.st != nil {
 		if err := s.st.Delete(id); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 	}
@@ -390,6 +504,7 @@ func (s *service) logThenApply(ctx context.Context, inst *instance, op store.Op,
 		return 0, err
 	}
 	mark()
+	inst.opCounts[op.Kind]++
 	deltaOps(op.Kind).Inc()
 	s.maybeSnapshot(ctx, inst)
 	return seq, nil
@@ -413,7 +528,10 @@ func (s *service) maybeSnapshot(ctx context.Context, inst *instance) {
 
 // handleAddEvent appends an event arrival: POST /instances/{id}/events.
 func (s *service) handleAddEvent(w http.ResponseWriter, r *http.Request) {
-	inst, ok := s.get(w, r.PathValue("id"))
+	if !s.gateReady(w, r) {
+		return
+	}
+	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -425,28 +543,28 @@ func (s *service) handleAddEvent(w http.ResponseWriter, r *http.Request) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if err := inst.checkAttrs(req.Attrs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Cap < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
 		return
 	}
 	nv := inst.arr.NumEvents()
 	for _, c := range req.Conflicts {
 		if c < 0 || c >= nv {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: conflict id %d out of range [0, %d)", c, nv))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: conflict id %d out of range [0, %d)", c, nv))
 			return
 		}
 	}
-	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+	sp := obs.StartSpan(r.Context(), "instance/delta").
 		Annotate("id", inst.meta.ID).Annotate("op", store.OpAddEvent)
 	defer sp.End()
 	seq, err := s.logThenApply(r.Context(), inst, store.Op{
 		Kind: store.OpAddEvent, Attrs: req.Attrs, Cap: req.Cap, Conflicts: req.Conflicts,
 	}, func() { inst.dirtyE[nv] = true })
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	deltaSeconds.Observe(time.Since(start).Seconds())
@@ -458,7 +576,10 @@ func (s *service) handleAddEvent(w http.ResponseWriter, r *http.Request) {
 
 // handleAddUser appends a user arrival: POST /instances/{id}/users.
 func (s *service) handleAddUser(w http.ResponseWriter, r *http.Request) {
-	inst, ok := s.get(w, r.PathValue("id"))
+	if !s.gateReady(w, r) {
+		return
+	}
+	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -470,22 +591,22 @@ func (s *service) handleAddUser(w http.ResponseWriter, r *http.Request) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if err := inst.checkAttrs(req.Attrs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Cap < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: negative capacity %d", req.Cap))
 		return
 	}
 	nu := inst.arr.NumUsers()
-	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+	sp := obs.StartSpan(r.Context(), "instance/delta").
 		Annotate("id", inst.meta.ID).Annotate("op", store.OpAddUser)
 	defer sp.End()
 	seq, err := s.logThenApply(r.Context(), inst, store.Op{
 		Kind: store.OpAddUser, Attrs: req.Attrs, Cap: req.Cap,
 	}, func() { inst.dirtyU[nu] = true })
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	deltaSeconds.Observe(time.Since(start).Seconds())
@@ -497,7 +618,10 @@ func (s *service) handleAddUser(w http.ResponseWriter, r *http.Request) {
 
 // handleCancel removes an event or a user: POST /instances/{id}/cancel.
 func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
-	inst, ok := s.get(w, r.PathValue("id"))
+	if !s.gateReady(w, r) {
+		return
+	}
+	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -506,7 +630,7 @@ func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if (req.Event == nil) == (req.User == nil) {
-		writeError(w, http.StatusBadRequest, errors.New(`server: cancel wants exactly one of "event" or "user"`))
+		writeError(w, r, http.StatusBadRequest, errors.New(`server: cancel wants exactly one of "event" or "user"`))
 		return
 	}
 	start := time.Now()
@@ -517,26 +641,26 @@ func (s *service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	kind := store.OpCancelEvent
 	if req.Event != nil {
 		if *req.Event < 0 || *req.Event >= inst.arr.NumEvents() {
-			writeError(w, http.StatusNotFound, fmt.Errorf("server: no event %d", *req.Event))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("server: no event %d", *req.Event))
 			return
 		}
 		op = store.Op{Kind: store.OpCancelEvent, Event: req.Event}
 		mark = func() { inst.dirtyE[*req.Event] = true }
 	} else {
 		if *req.User < 0 || *req.User >= inst.arr.NumUsers() {
-			writeError(w, http.StatusNotFound, fmt.Errorf("server: no user %d", *req.User))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("server: no user %d", *req.User))
 			return
 		}
 		kind = store.OpRemoveUser
 		op = store.Op{Kind: store.OpRemoveUser, User: req.User}
 		mark = func() { inst.dirtyU[*req.User] = true }
 	}
-	sp := obs.RecorderFrom(r.Context()).Start("instance/delta").
+	sp := obs.StartSpan(r.Context(), "instance/delta").
 		Annotate("id", inst.meta.ID).Annotate("op", kind)
 	defer sp.End()
 	seq, err := s.logThenApply(r.Context(), inst, op, mark)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	deltaSeconds.Observe(time.Since(start).Seconds())
@@ -561,7 +685,10 @@ type RebalanceResponse struct {
 // runs under the request context, so a disconnected client cancels it
 // (status 499) with the instance unchanged.
 func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
-	inst, ok := s.get(w, r.PathValue("id"))
+	if !s.gateReady(w, r) {
+		return
+	}
+	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -571,7 +698,7 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		scope = "dirty"
 	}
 	if scope != "dirty" && scope != "full" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown scope %q (dirty or full)", scope))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: unknown scope %q (dirty or full)", scope))
 		return
 	}
 	algo := q.Get("algo")
@@ -579,14 +706,14 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		algo = "greedy"
 	}
 	if _, err := core.LookupSolver(algo); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opt := decomp.Options{Seed: 1}
 	if v := q.Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
 			return
 		}
 		opt.Workers = n
@@ -594,7 +721,7 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
 			return
 		}
 		opt.Seed = n
@@ -607,7 +734,8 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	res, err := decomp.RebalanceScoped(r.Context(), inst.arr, algo,
 		sortedSet(inst.dirtyE), sortedSet(inst.dirtyU), scope == "full", opt)
 	if err != nil {
-		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		s.solveWindow(algo).Observe(time.Since(start).Seconds(), true)
+		writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 		return
 	}
 
@@ -629,16 +757,29 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 			if rerr := inst.arr.SetMatching(prev); rerr != nil {
 				s.log.Error("rebalance rollback failed", "id", inst.meta.ID, "err", rerr)
 			}
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 	}
 	deltaOps(store.OpRebalance).Inc()
+	inst.opCounts[store.OpRebalance]++
 	clear(inst.dirtyE)
 	clear(inst.dirtyU)
 	s.maybeSnapshot(r.Context(), inst)
 
 	elapsed := time.Since(start).Seconds()
+	s.solveWindow(algo).Observe(elapsed, false)
+	inst.recordRebalance(RebalanceOutcome{
+		Time:             time.Now().UTC(),
+		RequestID:        obs.RequestIDFrom(r.Context()),
+		Scope:            scope,
+		Algo:             algo,
+		ComponentsSolved: res.ComponentsSolved,
+		ComponentsTotal:  res.ComponentsTotal,
+		Gain:             res.Gain,
+		Adopted:          res.Adopted,
+		Seconds:          elapsed,
+	})
 	requestLogger(r).Info("rebalance",
 		"id", inst.meta.ID, "scope", scope, "algo", algo,
 		"components_solved", res.ComponentsSolved, "components_total", res.ComponentsTotal,
@@ -663,4 +804,5 @@ func (s *service) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /instances/{id}/users", s.handleAddUser)
 	mux.HandleFunc("POST /instances/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /instances/{id}/rebalance", s.handleRebalance)
+	mux.HandleFunc("GET /instances/{id}/stats", s.handleInstanceStats)
 }

@@ -19,6 +19,9 @@ import (
 // namespace without bound.
 var knownPaths = map[string]bool{
 	"/healthz":    true,
+	"/readyz":     true,
+	"/statusz":    true,
+	"/version":    true,
 	"/algorithms": true,
 	"/solve":      true,
 	"/trace":      true,
@@ -29,12 +32,13 @@ var knownPaths = map[string]bool{
 	"/instances":  true,
 }
 
-// instanceOps are the delta sub-routes under /instances/{id}/.
+// instanceOps are the sub-routes under /instances/{id}/.
 var instanceOps = map[string]bool{
 	"events":    true,
 	"users":     true,
 	"cancel":    true,
 	"rebalance": true,
+	"stats":     true,
 }
 
 // metricPath folds a request path into a bounded label value: known routes
@@ -63,6 +67,8 @@ func metricPath(p string) string {
 // about solves, not about being watched.
 var telemetryPaths = map[string]bool{
 	"/healthz":    true,
+	"/readyz":     true,
+	"/statusz":    true,
 	"/metrics":    true,
 	"/debug/vars": true,
 }
@@ -87,16 +93,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// httpInflight counts requests currently inside the handler stack. The
+// readiness probe reads it to report overload before a load balancer piles
+// more work onto a saturated process.
+var httpInflight = obs.Default().Gauge("geacc_http_inflight")
+
 // withMetrics wraps a handler with the HTTP telemetry layer: per-endpoint
 // request counts labeled by status code (geacc_http_requests_total),
-// per-endpoint latency histograms (geacc_http_request_seconds), and the
-// in-flight gauge (geacc_http_inflight). See docs/OBSERVABILITY.md.
-func withMetrics(next http.Handler) http.Handler {
-	inflight := obs.Default().Gauge("geacc_http_inflight")
+// per-endpoint latency histograms (geacc_http_request_seconds), the
+// in-flight gauge (geacc_http_inflight), and the service's rolling SLO
+// windows (p50/p90/p99 over 1m/5m/15m, served by /statusz and /metrics).
+// See docs/OBSERVABILITY.md.
+func withMetrics(next http.Handler, svc *service) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		path := metricPath(r.URL.Path)
-		inflight.Add(1)
-		defer inflight.Add(-1)
+		httpInflight.Add(1)
+		defer httpInflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -110,6 +122,9 @@ func withMetrics(next http.Handler) http.Handler {
 			"path", path, "code", strconv.Itoa(code))).Inc()
 		reg.Histogram(obs.Label("geacc_http_request_seconds", "path", path),
 			obs.DefaultLatencyBuckets).Observe(elapsed)
+		// Window error rates track server-side failures: a 4xx is the
+		// client's problem, a 5xx burns the error budget.
+		svc.httpWindow(path).Observe(elapsed, code >= 500)
 	})
 }
 
@@ -125,17 +140,33 @@ func requestLogger(r *http.Request) *slog.Logger {
 	return slog.Default()
 }
 
-// withLogging wraps a handler with structured request logging: one
-// log/slog record per request (method, path, status, duration, body size)
-// and the logger itself on the request context for handlers to enrich.
-// Telemetry endpoints (health checks, metric scrapes) log at Debug,
-// everything else at Info; server-side failures escalate to Warn/Error so
-// a text-level=info deployment still surfaces them.
+// withLogging wraps a handler with request correlation and structured
+// request logging. Every request gets a request ID — a well-formed inbound
+// X-Request-ID is honored (so a gateway's ID survives the hop), anything
+// else gets a fresh one — echoed on the X-Request-ID response header,
+// attached to the request context (obs.RequestIDFrom), and stamped onto
+// the per-request logger, so the request log line, every domain line a
+// handler emits through requestLogger, every obs.StartSpan span, and every
+// JSON error body carry the same ID. One log/slog record goes out per
+// request (method, path, status, duration, body size). Telemetry endpoints
+// (health checks, metric scrapes) log at Debug, everything else at Info;
+// server-side failures escalate to Warn/Error so a text-level=info
+// deployment still surfaces them — including the 499 line a mid-solve
+// client disconnect leaves behind.
 func withLogging(next http.Handler, log *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		reqLog := log.With(slog.String("request_id", id))
+		ctx := obs.ContextWithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, loggerKey{}, reqLog)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), loggerKey{}, log)))
+		next.ServeHTTP(sw, r)
 		code := sw.status
 		if code == 0 {
 			code = http.StatusOK
@@ -149,7 +180,7 @@ func withLogging(next http.Handler, log *slog.Logger) http.Handler {
 		case telemetryPaths[r.URL.Path]:
 			level = slog.LevelDebug
 		}
-		log.LogAttrs(r.Context(), level, "http request",
+		reqLog.LogAttrs(r.Context(), level, "http request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", code),

@@ -11,8 +11,10 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
+	"github.com/ebsnlab/geacc/internal/buildinfo"
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
@@ -43,6 +45,23 @@ type Config struct {
 	// its log is folded into a fresh snapshot; <= 0 means
 	// DefaultSnapshotEvery.
 	SnapshotEvery int
+	// LazyReplay moves startup replay off the constructor and into a
+	// background goroutine: the handler is returned (and can listen)
+	// immediately, /readyz answers 503 until every persisted instance has
+	// been replayed, and the instance endpoints refuse with 503 +
+	// Retry-After in the meantime. geacc-server enables it so a process
+	// restart behind a load balancer starts failing its readiness probe
+	// instead of its TCP connects. The default (false) replays
+	// synchronously, which is what tests and embedders usually want.
+	LazyReplay bool
+	// ReadyMaxInflight is the in-flight request count above which /readyz
+	// reports overload; <= 0 means DefaultReadyMaxInflight.
+	ReadyMaxInflight int
+
+	// replayHold, when non-nil with LazyReplay, blocks the background
+	// replay until the channel is closed — a test hook for observing the
+	// not-yet-ready window deterministically.
+	replayHold chan struct{}
 }
 
 // New returns the service's handler, wrapped in the metrics middleware.
@@ -70,46 +89,85 @@ func NewWithLogger(log *slog.Logger) http.Handler {
 
 // NewWithConfig builds the full service handler: the stateless solver
 // endpoints plus the long-lived /instances registry, replaying any
-// persisted instances found under cfg.DataDir before it returns.
+// persisted instances found under cfg.DataDir before it returns (or, with
+// cfg.LazyReplay, in the background while /readyz reports not-ready).
 func NewWithConfig(cfg Config) (http.Handler, error) {
+	h, _, err := newHandler(cfg)
+	return h, err
+}
+
+// newHandler is NewWithConfig plus the service it wired — the in-package
+// entry tests use to reach the rolling windows and readiness state behind
+// the handler.
+func newHandler(cfg Config) (http.Handler, *service, error) {
 	log := cfg.Logger
 	if log == nil {
 		log = slog.Default()
 	}
-	svc, err := newService(log, cfg.DataDir, cfg.SnapshotEvery)
+	svc, err := newService(log, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	setBuildInfoMetric()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", svc.handleReadyz)
+	mux.HandleFunc("GET /statusz", svc.handleStatusz)
+	mux.HandleFunc("GET /version", handleVersion)
 	mux.HandleFunc("GET /algorithms", handleAlgorithms)
-	mux.HandleFunc("POST /solve", handleSolve)
+	mux.HandleFunc("POST /solve", svc.handleSolve)
 	mux.HandleFunc("POST /trace", handleTrace)
 	mux.HandleFunc("POST /report", handleReport)
 	mux.HandleFunc("POST /validate", handleValidate)
-	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics", svc.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	svc.register(mux)
-	return withMetrics(withLogging(mux, log)), nil
+	return withMetrics(withLogging(mux, log), svc), svc, nil
+}
+
+// Process-identity metrics: a constant-1 gauge whose labels carry the build
+// identity (join on it to know which version served a scrape) and the
+// process uptime, refreshed at scrape time.
+var (
+	buildInfoOnce sync.Once
+	processUptime = obs.Default().FloatGauge("geacc_process_uptime_seconds")
+)
+
+func setBuildInfoMetric() {
+	buildInfoOnce.Do(func() {
+		bi := buildinfo.Get()
+		obs.Default().Gauge(obs.Label("geacc_build_info",
+			"version", bi.Version, "revision", bi.Revision, "goversion", bi.GoVersion)).Set(1)
+	})
 }
 
 // handleMetrics serves the obs registry in the Prometheus text exposition
 // format — the scrape target for Prometheus-compatible collectors; the
-// expvar page at /debug/vars serves the same instruments as JSON.
-func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// expvar page at /debug/vars serves the same instruments as JSON. The
+// registry families are followed by the service's rolling SLO windows
+// (geacc_http_window_seconds, geacc_solve_window_seconds).
+func (s *service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	processUptime.Set(buildinfo.Uptime().Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.Default().WritePrometheus(w)
+	_ = obs.WritePrometheusWindows(w, s.windowsSnapshot())
 }
 
-// errorJSON is the error envelope.
+// errorJSON is the error envelope. RequestID echoes the X-Request-ID the
+// middleware assigned, so a client-side error report names the exact
+// request to grep the server logs for.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorJSON{
+		Error:     err.Error(),
+		RequestID: obs.RequestIDFrom(r.Context()),
+	})
 }
 
 // solveErrorStatus maps a solver error to an HTTP status: context
@@ -179,10 +237,10 @@ func boolParam(r *http.Request, name string) bool {
 	return false
 }
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	algo := r.URL.Query().Get("algo")
@@ -190,27 +248,36 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		algo = "greedy"
 	}
 	var seed int64 = 1
-	if s := r.URL.Query().Get("seed"); s != "" {
-		seed, err = strconv.ParseInt(s, 10, 64)
+	if qs := r.URL.Query().Get("seed"); qs != "" {
+		seed, err = strconv.ParseInt(qs, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: bad seed: %w", err))
 			return
 		}
 	}
 	diag := wantDiag(r)
 	decompose := wantDecompose(r)
 	workers := 0
-	if s := r.URL.Query().Get("workers"); s != "" {
-		workers, err = strconv.Atoi(s)
+	if qs := r.URL.Query().Get("workers"); qs != "" {
+		workers, err = strconv.Atoi(qs)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: bad workers: %w", err))
 			return
 		}
 	}
 	if decompose && algo == "portfolio" {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			errors.New("server: decompose does not compose with the portfolio (it already parallelizes)"))
 		return
+	}
+	// Validate the algorithm before the first window observation: window
+	// series are labeled by algo, and only registry names may mint one (an
+	// attacker probing ?algo=... must not grow the label space).
+	if algo != "portfolio" {
+		if _, lerr := core.LookupSolver(algo); lerr != nil {
+			writeError(w, r, http.StatusBadRequest, lerr)
+			return
+		}
 	}
 
 	// The request context travels into the solver: a client disconnect
@@ -227,13 +294,20 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		countersBefore = obs.Default().Counters()
 	}
 	start := time.Now()
+	// The solver window tracks wall-clock and failures per algorithm; a
+	// request that dies after this point (solver error, infeasible result)
+	// counts toward the algo's error rate.
+	solveOK := false
+	defer func() {
+		s.solveWindow(algo).Observe(time.Since(start).Seconds(), !solveOK)
+	}()
 	var m *core.Matching
 	var d *core.Diagnostics
 	if algo == "portfolio" {
 		m, _, err = core.PortfolioCtx(ctx, in,
 			[]string{"greedy", "mincostflow", "random-v", "random-u"}, seed)
 		if err != nil {
-			writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+			writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 			return
 		}
 		if diag {
@@ -241,26 +315,22 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 				obs.DiffCounters(countersBefore, obs.Default().Counters()))
 		}
 	} else {
-		if _, lerr := core.LookupSolver(algo); lerr != nil {
-			writeError(w, http.StatusBadRequest, lerr)
-			return
-		}
 		if decompose {
 			dd, derr := decomp.DecomposeContext(ctx, in)
 			if derr != nil {
-				writeError(w, solveErrorStatus(derr, http.StatusInternalServerError), derr)
+				writeError(w, r, solveErrorStatus(derr, http.StatusInternalServerError), derr)
 				return
 			}
 			// The exact budget applies per shard: decomposition is exactly
 			// what makes larger instances exact-solvable over HTTP.
 			if algo == "exact" && dd.MaxComponentArea() > 200 {
-				writeError(w, http.StatusUnprocessableEntity,
+				writeError(w, r, http.StatusUnprocessableEntity,
 					fmt.Errorf("server: exact search is limited to component |V|·|U| <= 200 over HTTP; use the CLI"))
 				return
 			}
 			m, err = dd.SolveContext(ctx, algo, decomp.Options{Workers: workers, Seed: seed})
 			if err != nil {
-				writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+				writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 				return
 			}
 			if diag {
@@ -270,7 +340,7 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			if algo == "exact" && int64(in.NumEvents())*int64(in.NumUsers()) > 200 {
-				writeError(w, http.StatusUnprocessableEntity,
+				writeError(w, r, http.StatusUnprocessableEntity,
 					fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
 				return
 			}
@@ -281,16 +351,17 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 				m, err = core.SolveContext(ctx, algo, in, rng)
 			}
 			if err != nil {
-				writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+				writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 				return
 			}
 		}
 	}
 	elapsed := time.Since(start).Seconds()
 	if err := core.Validate(in, m); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
+	solveOK = true
 
 	logAttrs := []any{
 		"algo", algo, "events", in.NumEvents(), "users", in.NumUsers(),
@@ -303,12 +374,12 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	var buf bytes.Buffer
 	if err := encoding.EncodeMatching(&buf, m); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	var mj encoding.MatchingJSON
 	if err := json.Unmarshal(buf.Bytes(), &mj); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, SolveResponse{
@@ -340,7 +411,7 @@ type TraceStepJSON struct {
 func handleTrace(w http.ResponseWriter, r *http.Request) {
 	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -350,7 +421,7 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 		handleChromeTrace(w, r, in)
 		return
 	default:
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("server: unknown trace format %q (steps or chrome)", format))
 		return
 	}
@@ -361,21 +432,21 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 		})
 	}})
 	if err != nil {
-		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 		return
 	}
 	if err := core.Validate(in, m); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	var buf bytes.Buffer
 	if err := encoding.EncodeMatching(&buf, m); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	var mj encoding.MatchingJSON
 	if err := json.Unmarshal(buf.Bytes(), &mj); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if steps == nil {
@@ -393,22 +464,33 @@ func handleChromeTrace(w http.ResponseWriter, r *http.Request, in *core.Instance
 		algo = "greedy"
 	}
 	if _, err := core.LookupSolver(algo); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	rec := obs.NewRecorder()
 	ctx := obs.ContextWithRecorder(r.Context(), rec)
 	m, err := core.SolveContext(ctx, algo, in, rand.New(rand.NewSource(1)))
 	if err != nil {
-		writeError(w, solveErrorStatus(err, http.StatusInternalServerError), err)
+		writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 		return
 	}
 	if err := core.Validate(in, m); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = rec.WriteChromeTrace(w)
+	// The export's otherData carries the request ID, so a saved trace file
+	// still names the request (and its log lines) it came from.
+	meta := map[string]string{}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		meta["request_id"] = id
+	}
+	_ = obs.WriteChromeTraceMeta(w, rec.Spans(), meta)
+}
+
+// handleVersion answers GET /version with the binary's build identity.
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, buildinfo.Get())
 }
 
 // pairDoc is the {"instance":..., "matching":...} request body shared by
@@ -423,18 +505,18 @@ func decodePair(w http.ResponseWriter, r *http.Request) (*core.Instance, *core.M
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: %w", err))
 		return nil, nil, false
 	}
 	in, err := encoding.DecodeInstance(bytes.NewReader(doc.Instance))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return nil, nil, false
 	}
 	m := core.NewMatching()
 	for _, p := range doc.Matching.Pairs {
 		if m.Contains(p.V, p.U) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: duplicate pair (%d, %d)", p.V, p.U))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("server: duplicate pair (%d, %d)", p.V, p.U))
 			return nil, nil, false
 		}
 		m.Add(p.V, p.U, p.Sim)
@@ -450,7 +532,7 @@ func handleReport(w http.ResponseWriter, r *http.Request) {
 	skipBound := r.URL.Query().Get("bound") == "false"
 	rep, err := report.Build(in, m, skipBound)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, rep)

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// doPost drives one POST through the full handler stack.
+func doPost(t *testing.T, h http.Handler, path, body string, want int) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != want {
+		t.Fatalf("%s: %d %s", path, rr.Code, rr.Body)
+	}
+	return rr
+}
+
+// seedStatsInstance creates instance "st" with one 2-cap event, three users,
+// and a rebalance — the fixture both stats tests read back.
+func seedStatsInstance(t *testing.T, h http.Handler) {
+	t.Helper()
+	doPost(t, h, "/instances", `{"id":"st","sim":"euclidean","dim":2,"max_t":10}`, http.StatusCreated)
+	doPost(t, h, "/instances/st/events", `{"attrs":[0,0],"cap":2}`, http.StatusOK)
+	doPost(t, h, "/instances/st/events", `{"attrs":[9,9],"cap":1}`, http.StatusOK)
+	for i := 0; i < 3; i++ {
+		doPost(t, h, "/instances/st/users", fmt.Sprintf(`{"attrs":[%d,0],"cap":1}`, i), http.StatusOK)
+	}
+	doPost(t, h, "/instances/st/rebalance?scope=full", "", http.StatusOK)
+}
+
+func getStats(t *testing.T, h http.Handler) InstanceStats {
+	t.Helper()
+	rr := doGet(t, h, "/instances/st/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rr.Code, rr.Body)
+	}
+	var st InstanceStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad stats body %s: %v", rr.Body, err)
+	}
+	return st
+}
+
+// TestInstanceStatsEphemeral: the stats payload for an in-memory instance —
+// op counts, the rebalance-outcome ring (with its request ID), the quality
+// gap against the relaxation bound, and zeroed persistence fields.
+func TestInstanceStatsEphemeral(t *testing.T) {
+	h, _, _ := newCorrelationHandler(t, Config{})
+	seedStatsInstance(t, h)
+	st := getStats(t, h)
+
+	if st.ID != "st" || st.Events != 2 || st.Users != 3 {
+		t.Fatalf("shape: %+v", st)
+	}
+	if st.Pairs == 0 || st.MaxSum <= 0 {
+		t.Fatalf("rebalanced instance has empty matching: %+v", st)
+	}
+	wantOps := map[string]int64{"add_event": 2, "add_user": 3, "rebalance": 1}
+	for k, want := range wantOps {
+		if st.OpCounts[k] != want {
+			t.Errorf("op_counts[%s] = %d, want %d (all: %v)", k, st.OpCounts[k], want, st.OpCounts)
+		}
+	}
+	if len(st.RecentRebalances) != 1 {
+		t.Fatalf("recent_rebalances: %+v", st.RecentRebalances)
+	}
+	// Adopted may be false: the online arrangement can already be optimal,
+	// in which case the rebalance is recorded but not adopted.
+	rb := st.RecentRebalances[0]
+	if rb.RequestID == "" || rb.Scope != "full" || rb.Algo == "" || rb.Time.IsZero() || rb.Gain < 0 {
+		t.Fatalf("rebalance outcome: %+v", rb)
+	}
+	if rb.ComponentsTotal < 1 || rb.ComponentsSolved < 1 {
+		t.Fatalf("rebalance component counts: %+v", rb)
+	}
+
+	// Quality: the relaxation bound dominates the arrangement, the gap is a
+	// clamped fraction of the bound.
+	if st.RelaxedUpperBound < st.MaxSum {
+		t.Fatalf("upper bound %v below max_sum %v", st.RelaxedUpperBound, st.MaxSum)
+	}
+	if st.Gap < 0 || st.Gap > 1 {
+		t.Fatalf("gap %v outside [0,1]", st.Gap)
+	}
+
+	// A full rebalance consumed every dirty mark.
+	if len(st.DirtyEvents) != 0 || len(st.DirtyUsers) != 0 || st.DirtyComponents != 0 {
+		t.Fatalf("dirty state after full rebalance: %+v", st)
+	}
+	if st.ComponentsTotal < 1 {
+		t.Fatalf("components_total = %d", st.ComponentsTotal)
+	}
+
+	// Ephemeral: no WAL drift to report.
+	if st.Persistent || st.Seq != 0 || st.BytesSinceSnapshot != 0 {
+		t.Fatalf("ephemeral instance reports persistence: %+v", st)
+	}
+}
+
+// TestInstanceStatsPersistence: on a persistent instance the stats carry WAL
+// drift, and lifetime op counts survive a restart because they are replayed
+// from the full log, not reset by snapshots.
+func TestInstanceStatsPersistence(t *testing.T) {
+	dir := t.TempDir()
+
+	h, _, _ := newCorrelationHandler(t, Config{DataDir: dir})
+	seedStatsInstance(t, h)
+	before := getStats(t, h)
+	if !before.Persistent {
+		t.Fatalf("instance not persistent: %+v", before)
+	}
+	// 6 ops logged (2 events + 3 users + 1 rebalance), no snapshot taken yet
+	// at the default cadence.
+	if before.Seq != 6 || before.OpsSinceSnapshot != 6 || before.BytesSinceSnapshot <= 0 {
+		t.Fatalf("WAL drift: seq=%d ops_since=%d bytes_since=%d",
+			before.Seq, before.OpsSinceSnapshot, before.BytesSinceSnapshot)
+	}
+
+	// Restart on the same directory: replay restores the lifetime tallies.
+	h2, _, _ := newCorrelationHandler(t, Config{DataDir: dir})
+	after := getStats(t, h2)
+	if after.Events != 2 || after.Users != 3 || after.Seq != before.Seq {
+		t.Fatalf("restart lost state: %+v", after)
+	}
+	for k, want := range map[string]int64{"add_event": 2, "add_user": 3, "rebalance": 1} {
+		if after.OpCounts[k] != want {
+			t.Errorf("post-restart op_counts[%s] = %d, want %d (all: %v)",
+				k, after.OpCounts[k], want, after.OpCounts)
+		}
+	}
+	// The in-memory rebalance ring is not persisted; a restart starts empty.
+	if len(after.RecentRebalances) != 0 {
+		t.Fatalf("rebalance ring survived restart: %+v", after.RecentRebalances)
+	}
+
+	// Unknown instance: 404, not 500.
+	rr := doGet(t, h2, "/instances/nope/stats")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("stats for unknown instance: %d %s", rr.Code, rr.Body)
+	}
+}

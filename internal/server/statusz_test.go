@@ -1,0 +1,287 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doGet drives one GET through the full handler stack.
+func doGet(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+// TestStatuszSchema pins the /statusz JSON contract: the top-level keys,
+// the build sub-document, and the per-endpoint window summaries dashboards
+// parse.
+func TestStatuszSchema(t *testing.T) {
+	h, _, _ := newCorrelationHandler(t, Config{})
+
+	// Mint at least one endpoint window before reading /statusz.
+	if rr := doGet(t, h, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rr.Code)
+	}
+	rr := doGet(t, h, "/statusz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("statusz: %d %s", rr.Code, rr.Body)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"service", "build", "started_at", "uptime_seconds", "ready",
+		"instances_active", "goroutines", "heap_alloc_bytes",
+		"heap_sys_bytes", "num_gc", "endpoints", "solvers",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("statusz lacks %q: %s", key, rr.Body)
+		}
+	}
+	var build map[string]any
+	if err := json.Unmarshal(doc["build"], &build); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "go_version"} {
+		if v, _ := build[key].(string); v == "" {
+			t.Errorf("statusz build lacks %q: %s", key, doc["build"])
+		}
+	}
+
+	// The /healthz request above must have minted a window with all three
+	// standard horizons, each carrying the full WindowStats shape.
+	var endpoints map[string]map[string]map[string]any
+	if err := json.Unmarshal(doc["endpoints"], &endpoints); err != nil {
+		t.Fatal(err)
+	}
+	horizons, ok := endpoints["/healthz"]
+	if !ok {
+		t.Fatalf("statusz endpoints lack /healthz: %s", doc["endpoints"])
+	}
+	for _, name := range []string{"1m", "5m", "15m"} {
+		win, ok := horizons[name]
+		if !ok {
+			t.Fatalf("/healthz window lacks horizon %q: %v", name, horizons)
+		}
+		for _, key := range []string{
+			"window", "count", "errors", "rate_per_sec", "error_rate_per_sec",
+			"mean_seconds", "p50_seconds", "p90_seconds", "p99_seconds", "samples",
+		} {
+			if _, ok := win[key]; !ok {
+				t.Errorf("window %q lacks %q: %v", name, key, win)
+			}
+		}
+	}
+	if got, _ := horizons["15m"]["count"].(float64); got < 1 {
+		t.Fatalf("/healthz 15m count = %v, want >= 1", horizons["15m"]["count"])
+	}
+}
+
+// TestStatuszWindowP99MatchesExact injects a known latency population into
+// an endpoint window and asserts /statusz reports the exact nearest-rank
+// percentiles — the population is below the reservoir size, so no sampling
+// error is allowed.
+func TestStatuszWindowP99MatchesExact(t *testing.T) {
+	h, svc, _ := newCorrelationHandler(t, Config{})
+
+	// 400 distinct latencies in shuffled order, all inside one bucket
+	// epoch (well under the 512-sample reservoir -> exact quantiles).
+	const n = 400
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64((i*137)%n+1) / 1000.0
+	}
+	win := svc.httpWindow("/solve")
+	for _, v := range values {
+		win.Observe(v, false)
+	}
+
+	rr := doGet(t, h, "/statusz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("statusz: %d %s", rr.Code, rr.Body)
+	}
+	var doc StatuszResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := doc.Endpoints["/solve"]["15m"]
+	if !ok {
+		t.Fatalf("no /solve 15m window in %+v", doc.Endpoints)
+	}
+	if stats.Count != n || stats.Samples != n || stats.Sampled {
+		t.Fatalf("window not exact: count=%d samples=%d sampled=%v", stats.Count, stats.Samples, stats.Sampled)
+	}
+
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	exact := func(p float64) float64 {
+		rank := int(math.Ceil(p * n))
+		return sorted[rank-1]
+	}
+	if stats.P50 != exact(0.50) || stats.P90 != exact(0.90) || stats.P99 != exact(0.99) {
+		t.Fatalf("quantiles (%v, %v, %v) != exact (%v, %v, %v)",
+			stats.P50, stats.P90, stats.P99, exact(0.50), exact(0.90), exact(0.99))
+	}
+	wantMean := 0.0
+	for _, v := range values {
+		wantMean += v
+	}
+	wantMean /= n
+	if math.Abs(stats.MeanSeconds-wantMean) > 1e-12 {
+		t.Fatalf("mean %v, want %v", stats.MeanSeconds, wantMean)
+	}
+}
+
+// TestMetricsIncludesWindowsAndBuildInfo: /metrics renders the registry
+// plus the rolling windows, the build-info gauge, and process uptime.
+func TestMetricsIncludesWindowsAndBuildInfo(t *testing.T) {
+	h, _, _ := newCorrelationHandler(t, Config{})
+	if rr := doGet(t, h, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rr.Code)
+	}
+	rr := doGet(t, h, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"geacc_build_info{",
+		"geacc_process_uptime_seconds ",
+		`geacc_http_window_seconds_rate{path="/healthz",window="1m"}`,
+		`geacc_http_window_seconds{path="/healthz",window="15m",quantile="0.5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+}
+
+// TestVersionEndpoint: GET /version serves the build identity as JSON.
+func TestVersionEndpoint(t *testing.T) {
+	h, _, _ := newCorrelationHandler(t, Config{})
+	rr := doGet(t, h, "/version")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("version: %d", rr.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "go_version"} {
+		if v, _ := doc[key].(string); v == "" {
+			t.Fatalf("version lacks %q: %s", key, rr.Body)
+		}
+	}
+}
+
+// TestReadyzEphemeral: with no data directory the service is ready
+// immediately and the store check reports the ephemeral mode.
+func TestReadyzEphemeral(t *testing.T) {
+	h, _, _ := newCorrelationHandler(t, Config{})
+	rr := doGet(t, h, "/readyz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", rr.Code, rr.Body)
+	}
+	var doc readyzResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Ready || doc.Checks["replay"] != "ok" || doc.Checks["store"] != "ok (ephemeral)" || doc.Checks["load"] != "ok" {
+		t.Fatalf("readyz: %+v", doc)
+	}
+}
+
+// TestReadyzDuringLazyReplay holds the background replay open and asserts
+// the not-ready window: /readyz 503 with Retry-After and a "replaying"
+// check, instance endpoints 503, liveness still 200 — then releases the
+// replay and watches readiness flip with the replayed instance intact.
+func TestReadyzDuringLazyReplay(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed the directory with a persisted instance via a synchronous server.
+	{
+		h, _, _ := newCorrelationHandler(t, Config{DataDir: dir})
+		post := func(path, body string, want int) {
+			t.Helper()
+			req := httptest.NewRequest("POST", path, strings.NewReader(body))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != want {
+				t.Fatalf("%s: %d %s", path, rr.Code, rr.Body)
+			}
+		}
+		post("/instances", `{"id":"prod","sim":"euclidean","dim":2,"max_t":10}`, http.StatusCreated)
+		post("/instances/prod/events", `{"attrs":[0,0],"cap":2}`, http.StatusOK)
+		for i := 0; i < 8; i++ {
+			post("/instances/prod/users", fmt.Sprintf(`{"attrs":[%d,1],"cap":1}`, i), http.StatusOK)
+		}
+	}
+
+	hold := make(chan struct{})
+	h, _, _ := newCorrelationHandler(t, Config{DataDir: dir, LazyReplay: true, replayHold: hold})
+
+	rr := doGet(t, h, "/readyz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during replay: %d %s", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("readyz 503 lacks Retry-After")
+	}
+	var doc readyzResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Ready || doc.Checks["replay"] != "replaying" {
+		t.Fatalf("readyz during replay: %+v", doc)
+	}
+
+	// Instance traffic refuses; liveness does not.
+	if rr := doGet(t, h, "/instances/prod"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("instance GET during replay: %d %s", rr.Code, rr.Body)
+	}
+	var errBody errorJSON
+	rr = doGet(t, h, "/instances")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("instance list during replay: %d", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &errBody); err != nil || errBody.RequestID == "" {
+		t.Fatalf("503 body lacks request_id: %s (%v)", rr.Body, err)
+	}
+	if rr := doGet(t, h, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("healthz during replay: %d", rr.Code)
+	}
+
+	close(hold)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rr = doGet(t, h, "/readyz")
+		if rr.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never flipped ready: %d %s", rr.Code, rr.Body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rr = doGet(t, h, "/instances/prod")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("instance GET after replay: %d %s", rr.Code, rr.Body)
+	}
+	var status InstanceStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Events != 1 || status.Users != 8 {
+		t.Fatalf("replayed instance shape: %+v", status.InstanceSummary)
+	}
+}

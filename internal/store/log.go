@@ -83,9 +83,11 @@ type Log struct {
 	meta Meta
 	f    *os.File
 
-	seq      int64 // last appended (or replayed) op seq
-	snapSeq  int64 // op seq the on-disk snapshot covers
-	opsSince int   // ops appended since that snapshot
+	seq        int64     // last appended (or replayed) op seq
+	snapSeq    int64     // op seq the on-disk snapshot covers
+	opsSince   int       // ops appended since that snapshot
+	bytesSince int64     // ops.jsonl bytes past the snapshot's coverage
+	snapAt     time.Time // when the on-disk snapshot was taken; zero when none
 }
 
 // Meta returns the instance's identity record.
@@ -97,6 +99,18 @@ func (l *Log) Seq() int64 { return l.seq }
 // OpsSinceSnapshot returns how many ops the on-disk snapshot is behind —
 // the service's trigger for WriteSnapshot (-snapshot-every).
 func (l *Log) OpsSinceSnapshot() int { return l.opsSince }
+
+// SnapshotSeq returns the op seq the on-disk snapshot covers (0 when the
+// instance has never been snapshotted).
+func (l *Log) SnapshotSeq() int64 { return l.snapSeq }
+
+// BytesSinceSnapshot returns how many ops.jsonl bytes lie past the
+// snapshot's coverage — the data a restart would replay op by op.
+func (l *Log) BytesSinceSnapshot() int64 { return l.bytesSince }
+
+// SnapshotAt returns when the on-disk snapshot was taken; the zero time
+// means the instance has never been snapshotted.
+func (l *Log) SnapshotAt() time.Time { return l.snapAt }
 
 // Append assigns the next seq to op and writes it as one JSONL line in a
 // single Write call (so a hard kill can only tear the final line, which
@@ -118,6 +132,7 @@ func (l *Log) Append(op Op) (int64, error) {
 	}
 	l.seq = op.Seq
 	l.opsSince++
+	l.bytesSince += int64(len(b)) + 1
 	return op.Seq, nil
 }
 
@@ -130,7 +145,7 @@ func (l *Log) Append(op Op) (int64, error) {
 // recorder on ctx receives one instance/snapshot span.
 func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger, dirtyEvents, dirtyUsers []int) error {
 	start := time.Now()
-	sp := obs.RecorderFrom(ctx).Start("instance/snapshot").
+	sp := obs.StartSpan(ctx, "instance/snapshot").
 		Annotate("id", l.meta.ID).Annotate("seq", l.seq)
 	defer sp.End()
 	in, m, err := arr.Snapshot()
@@ -169,6 +184,8 @@ func (l *Log) WriteSnapshot(ctx context.Context, arr *core.Arranger, dirtyEvents
 	}
 	l.snapSeq = l.seq
 	l.opsSince = 0
+	l.bytesSince = 0
+	l.snapAt = meta.CreatedAt
 	snapshotsTotal.Inc()
 	snapshotSeconds.Observe(time.Since(start).Seconds())
 	return nil

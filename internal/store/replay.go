@@ -39,6 +39,16 @@ type State struct {
 	// since the last rebalance op, ascending.
 	DirtyEvents []int
 	DirtyUsers  []int
+
+	// OpCounts tallies every op line in ops.jsonl by kind — the log is
+	// never rewritten, so this is the instance's lifetime delta history,
+	// including ops already folded into the snapshot.
+	OpCounts map[string]int64
+	// BytesSinceSnapshot is how much of ops.jsonl lies past the snapshot's
+	// coverage; SnapshotAt is when that snapshot was taken (zero when the
+	// instance has never been snapshotted).
+	BytesSinceSnapshot int64
+	SnapshotAt         time.Time
 }
 
 // LoadDir replays one instance directory read-only: snapshot (if present)
@@ -67,19 +77,21 @@ func (s *Store) Load(ctx context.Context, id string) (*State, *Log, error) {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	l := &Log{
-		dir:      dir,
-		meta:     st.Meta,
-		f:        f,
-		seq:      st.Seq,
-		snapSeq:  st.SnapshotSeq,
-		opsSince: st.ReplayedOps,
+		dir:        dir,
+		meta:       st.Meta,
+		f:          f,
+		seq:        st.Seq,
+		snapSeq:    st.SnapshotSeq,
+		opsSince:   st.ReplayedOps,
+		bytesSince: st.BytesSinceSnapshot,
+		snapAt:     st.SnapshotAt,
 	}
 	return st, l, nil
 }
 
 func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
 	start := time.Now()
-	sp := obs.RecorderFrom(ctx).Start("instance/replay").Annotate("dir", dir)
+	sp := obs.StartSpan(ctx, "instance/replay").Annotate("dir", dir)
 	defer sp.End()
 
 	meta, err := readMeta(dir)
@@ -108,6 +120,7 @@ func loadDir(ctx context.Context, dir string, repair bool) (*State, error) {
 		st.Seq = smeta.Seq
 		st.DirtyEvents = smeta.DirtyEvents
 		st.DirtyUsers = smeta.DirtyUsers
+		st.SnapshotAt = smeta.CreatedAt
 	} else {
 		f, ferr := meta.SimInfo().Func()
 		if ferr != nil {
@@ -148,6 +161,7 @@ func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) erro
 	}
 	dirtyE := toSet(st.DirtyEvents)
 	dirtyU := toSet(st.DirtyUsers)
+	st.OpCounts = make(map[string]int64)
 	r := bufio.NewReaderSize(f, 1<<20)
 	var offset, tornAt int64 = 0, -1
 	for {
@@ -161,9 +175,11 @@ func replayOpsFile(ctx context.Context, dir string, st *State, repair bool) erro
 			if uerr := json.Unmarshal(trimmed, &op); uerr != nil {
 				tornAt = offset
 			} else {
+				st.OpCounts[op.Kind]++
 				if op.Seq <= st.SnapshotSeq {
 					// Already folded into the snapshot.
 				} else {
+					st.BytesSinceSnapshot += int64(len(line))
 					if op.Seq != st.Seq+1 {
 						f.Close()
 						return fmt.Errorf("store: %s: op seq %d after %d (log gap)", path, op.Seq, st.Seq)

@@ -192,6 +192,30 @@ func (s *Store) Create(meta Meta) (*Log, error) {
 	return &Log{dir: dir, meta: meta, f: f}, nil
 }
 
+// Probe verifies the store is still writable the same way an op append
+// would be: it writes and fsyncs a small probe file in the store root
+// (overwritten every call, never listed as an instance). The readiness
+// endpoint runs it so a full or read-only disk flips /readyz before an
+// acknowledged delta can fail to persist.
+func (s *Store) Probe() error {
+	path := filepath.Join(s.dir, ".readyz.probe")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	_, err = fmt.Fprintf(f, "%d\n", time.Now().UnixNano())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	return nil
+}
+
 // Delete removes the named instance's directory and everything in it.
 func (s *Store) Delete(id string) error {
 	if !ValidID(id) {
