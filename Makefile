@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/obs ./internal/server ./internal/core ./internal/decomp 
 BENCH     ?= .
 BENCH_FLAGS := -benchmem -benchtime=1x
 
-.PHONY: build test test-service smoke-probes race race-all vet bench bench-json bench-compare cover clean run-server help
+.PHONY: build test test-service smoke-probes load-smoke race race-all vet bench bench-json bench-compare bench-server cover clean run-server help
 
 ## build: compile every package and the command-line tools
 build:
@@ -26,6 +26,10 @@ test-service:
 ## smoke-probes: boot a real geacc-server and exercise healthz/readyz/statusz/metrics/stats once
 smoke-probes:
 	./scripts/smoke_probes.sh
+
+## load-smoke: ~30s of closed-loop load (solves + delta streams) against a real geacc-server; fails on any 5xx
+load-smoke:
+	./scripts/load_smoke.sh
 
 ## race: race-detector pass over the concurrency-heavy packages
 race:
@@ -47,9 +51,14 @@ bench:
 bench-json:
 	$(GO) run ./cmd/geacc-bench -reps 3 -solvers-json BENCH_solvers.json
 
-## bench-compare: rerun the pinned set and diff against the committed snapshot (fails on >20% ns/op regressions)
+## bench-compare: rerun both pinned sets (solver ns/op + end-to-end server p99/throughput) and diff against the committed snapshots (fails on >20% regressions)
 bench-compare:
 	$(GO) run ./cmd/geacc-bench -reps 3 -compare BENCH_solvers.json
+	$(GO) run ./cmd/geacc-load -compare BENCH_server.json
+
+## bench-server: end-to-end load snapshot (self-hosted server, closed loop) -> BENCH_server.json
+bench-server:
+	$(GO) run ./cmd/geacc-load -pin BENCH_server.json
 
 ## cover: full suite with a coverage summary
 cover:

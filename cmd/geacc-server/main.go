@@ -6,6 +6,7 @@
 // Usage:
 //
 //	geacc-server -addr :8080 [-data-dir ./data] [-snapshot-every 256]
+//	             [-max-inflight 64] [-queue-depth 256] [-queue-timeout 2s]
 //	             [-debug-addr :6060] [-log-format json]
 //
 //	curl localhost:8080/algorithms
@@ -63,6 +64,12 @@ func main() {
 		"persist named instances (op logs + snapshots) under this directory; empty keeps them in memory")
 	snapshotEvery := flag.Int("snapshot-every", server.DefaultSnapshotEvery,
 		"with -data-dir, fold an instance's op log into a snapshot every N ops")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight,
+		"solver requests (/solve, /trace, /report, rebalances) running at once; excess queues, then sheds 429")
+	queueDepth := flag.Int("queue-depth", server.DefaultQueueDepth,
+		"solver requests allowed to wait for a slot; beyond this the server sheds 429 immediately (negative disables queueing)")
+	queueTimeout := flag.Duration("queue-timeout", server.DefaultQueueTimeout,
+		"longest a queued solver request waits before it is shed with 429")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
@@ -86,6 +93,9 @@ func main() {
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapshotEvery,
 		LazyReplay:    true,
+		MaxInflight:   *maxInflight,
+		QueueDepth:    *queueDepth,
+		QueueTimeout:  *queueTimeout,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)

@@ -101,11 +101,16 @@ func ExactOpts(in *Instance, opt ExactOptions) (*Matching, SearchStats, error) {
 	sp := rec.Start("exact/prep")
 
 	// Precompute the similarity matrix and, per event, users in
-	// non-increasing similarity order (the event's NN list).
+	// non-increasing similarity order (the event's NN list). The matrix is
+	// carved out of one pooled flat buffer: every cell is written by the
+	// row scans below, and the search never hands simMat rows to the
+	// returned Matching, so the buffer can go back to the pool on return.
+	simFlat := acquireFloats(nv * nu)
+	defer releaseFloats(simFlat)
 	st.simMat = make([][]float64, nv)
 	st.nn = make([][]int, nv)
 	for v := 0; v < nv; v++ {
-		st.simMat[v] = make([]float64, nu)
+		st.simMat[v] = simFlat[v*nu : (v+1)*nu : (v+1)*nu]
 		in.similarityRow(v, st.simMat[v])
 		order := make([]int, nu)
 		for u := range order {

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 
-	"github.com/ebsnlab/geacc/internal/knn"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/pqueue"
 )
@@ -83,8 +82,12 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 	sp := rec.Start("greedy/init")
 	src := newNeighborSource(in, opt.Index, opt.ChunkSize)
 
-	capV := make([]int, nv)
-	capU := make([]int, nu)
+	// The capacity arrays, lazy stream tables, and candidate heap are
+	// pooled per solve; every entry is rewritten (or nil, for the lazily
+	// created streams) before use.
+	scratch := acquireGreedyScratch(nv, nu)
+	defer releaseGreedyScratch(scratch)
+	capV, capU := scratch.capV, scratch.capU
 	for v, e := range in.Events {
 		capV[v] = e.Cap
 	}
@@ -94,9 +97,8 @@ func GreedyOpts(in *Instance, opt GreedyOptions) *Matching {
 
 	// Per-node neighbor streams, created lazily: a node whose pairs are all
 	// pushed from the other side never materializes its own stream.
-	vStreams := make([]knn.Stream, nv)
-	uStreams := make([]knn.Stream, nu)
-	h := pqueue.NewPairHeap(nu)
+	vStreams, uStreams := scratch.vStreams, scratch.uStreams
+	h := scratch.heap
 
 	// conflictsWithMatched reports whether assigning v to u would put u in
 	// two conflicting events. Monotone: once true it stays true, so pairs

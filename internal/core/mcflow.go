@@ -112,7 +112,11 @@ func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
 	userNode := func(u int) int { return 1 + nv + u }
 	t := 1 + nv + nu
 
-	g := mincostflow.NewGraph(nv + nu + 2)
+	// The network, solver, and index scratch are pooled: every byte read by
+	// this solve is rewritten below, and nothing pooled escapes into the
+	// returned FlowResult.
+	g := mincostflow.AcquireGraph(nv + nu + 2)
+	defer mincostflow.ReleaseGraph(g)
 	g.Grow(nv + nu + nv*nu)
 	for v, e := range in.Events {
 		g.AddArc(s, eventNode(v), int64(e.Cap), 0)
@@ -124,8 +128,9 @@ func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
 	// construction demands (they make every Δ up to Δmax feasible; Lemma 1
 	// relies on that). Arc ids are recorded to read flows back. Costs come
 	// from one batched similarity row per event.
-	pairArc := make([]mincostflow.ArcID, nv*nu)
-	simRow := make([]float64, nu)
+	scratch := acquireMcflowScratch(nv, nu)
+	defer releaseMcflowScratch(scratch)
+	pairArc, simRow := scratch.pairArc, scratch.simRow
 	for v := 0; v < nv; v++ {
 		in.similarityRow(v, simRow)
 		for u := 0; u < nu; u++ {
@@ -133,7 +138,8 @@ func relaxedOptimumCtx(ctx context.Context, in *Instance) (*FlowResult, error) {
 		}
 	}
 
-	sv := mincostflow.NewSolver(g, s, t)
+	sv := mincostflow.AcquireSolver(g, s, t)
+	defer mincostflow.ReleaseSolver(sv)
 	// Augment while a unit of flow still increases MaxSum = Δ − cost, i.e.
 	// while the next path's per-unit cost is below 1. Each iteration is one
 	// Dijkstra pass, so polling ctx here bounds the cancellation latency by

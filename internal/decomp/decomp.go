@@ -24,6 +24,7 @@ package decomp
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ebsnlab/geacc/internal/conflict"
@@ -78,7 +79,8 @@ func DecomposeContext(ctx context.Context, in *core.Instance) (*Decomposition, e
 
 	// Union-find over V ∪ U: node v in [0, nv), node nv+u for user u.
 	uf := newUnionFind(nv + nu)
-	row := make([]float64, nu)
+	row := acquireRow(nu)
+	defer releaseRow(row)
 	for v := 0; v < nv; v++ {
 		if v%64 == 0 && ctx.Err() != nil {
 			sp.Annotate("error", ctx.Err().Error()).End()
@@ -244,6 +246,26 @@ func (d *Decomposition) Stats(workers int) *core.DecompositionStats {
 type unionFind struct {
 	parent []int
 	size   []int
+}
+
+// rowPool recycles the |U|-wide similarity-row scratch of the union-graph
+// scan — the decomposition layer's per-build hot allocation under a
+// sustained delta/rebalance stream. Rows are fully overwritten by
+// SimilarityRow before every read.
+var rowPool = sync.Pool{New: func() any { return []float64(nil) }}
+
+func acquireRow(n int) []float64 {
+	s := rowPool.Get().([]float64)
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func releaseRow(s []float64) {
+	if s != nil {
+		rowPool.Put(s) //nolint:staticcheck // slice header allocation is amortized by the saved buffer
+	}
 }
 
 func newUnionFind(n int) *unionFind {

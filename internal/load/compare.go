@@ -1,0 +1,147 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ServerBenchPoint is one pinned end-to-end measurement in
+// BENCH_server.json: the scenario's accepted-request p99 and achieved
+// throughput under the standard bench settings (make bench-server). Unlike
+// the deterministic solver microbenchmarks, these carry wall-clock noise —
+// the compare tolerance is the guard band.
+type ServerBenchPoint struct {
+	Scenario    string  `json:"scenario"`
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	AchievedRPS float64 `json:"achieved_rps"`
+}
+
+// Point distills a run's report into its pinnable form.
+func (rep *Report) Point() ServerBenchPoint {
+	return ServerBenchPoint{
+		Scenario:    rep.Scenario,
+		Mode:        rep.Mode,
+		Concurrency: rep.Concurrency,
+		P99Seconds:  rep.P99Seconds,
+		AchievedRPS: rep.AchievedRPS,
+	}
+}
+
+// ServerDelta compares one scenario across two snapshots.
+type ServerDelta struct {
+	Scenario string
+	OldP99   float64
+	NewP99   float64
+	P99Ratio float64 // NewP99 / OldP99; > 1 means slower
+	OldRPS   float64
+	NewRPS   float64
+	RPSRatio float64 // NewRPS / OldRPS; < 1 means less throughput
+}
+
+// Regressed reports whether the point got worse beyond tol on either axis:
+// p99 up by more than tol, or throughput down by more than tol.
+func (d ServerDelta) Regressed(tol float64) bool {
+	slower := d.OldP99 > 0 && d.NewP99 > d.OldP99*(1+tol)
+	lessRPS := d.OldRPS > 0 && d.NewRPS < d.OldRPS*(1-tol)
+	return slower || lessRPS
+}
+
+// CompareServerBench diffs a fresh run against a committed snapshot,
+// matching points by scenario name, worst p99 slowdown first.
+func CompareServerBench(old, fresh []ServerBenchPoint) (deltas []ServerDelta, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]ServerBenchPoint, len(old))
+	for _, p := range old {
+		oldByName[p.Scenario] = p
+	}
+	seen := make(map[string]bool, len(fresh))
+	for _, p := range fresh {
+		seen[p.Scenario] = true
+		o, ok := oldByName[p.Scenario]
+		if !ok {
+			onlyNew = append(onlyNew, p.Scenario)
+			continue
+		}
+		d := ServerDelta{
+			Scenario: p.Scenario,
+			OldP99:   o.P99Seconds, NewP99: p.P99Seconds,
+			OldRPS: o.AchievedRPS, NewRPS: p.AchievedRPS,
+		}
+		if o.P99Seconds > 0 {
+			d.P99Ratio = p.P99Seconds / o.P99Seconds
+		}
+		if o.AchievedRPS > 0 {
+			d.RPSRatio = p.AchievedRPS / o.AchievedRPS
+		}
+		deltas = append(deltas, d)
+	}
+	for _, p := range old {
+		if !seen[p.Scenario] {
+			onlyOld = append(onlyOld, p.Scenario)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].P99Ratio != deltas[j].P99Ratio {
+			return deltas[i].P99Ratio > deltas[j].P99Ratio
+		}
+		return deltas[i].Scenario < deltas[j].Scenario
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// FormatServerComparison renders the comparison and returns the scenarios
+// regressed beyond tol.
+func FormatServerComparison(deltas []ServerDelta, onlyOld, onlyNew []string, tol float64) (report string, regressed []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %8s %12s %12s %8s\n",
+		"scenario", "old p99 s", "new p99 s", "ratio", "old req/s", "new req/s", "ratio")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed(tol) {
+			flag = "  << REGRESSION"
+			regressed = append(regressed, d.Scenario)
+		}
+		fmt.Fprintf(&b, "%-20s %12.4f %12.4f %8.2f %12.1f %12.1f %8.2f%s\n",
+			d.Scenario, d.OldP99, d.NewP99, d.P99Ratio, d.OldRPS, d.NewRPS, d.RPSRatio, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(&b, "%-20s only in committed snapshot\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(&b, "%-20s only in fresh run (make bench-server to pin it)\n", name)
+	}
+	return b.String(), regressed
+}
+
+// ReadServerBenchJSON loads a BENCH_server.json snapshot.
+func ReadServerBenchJSON(r io.Reader) ([]ServerBenchPoint, error) {
+	var points []ServerBenchPoint
+	if err := json.NewDecoder(r).Decode(&points); err != nil {
+		return nil, fmt.Errorf("load: decode server snapshot: %w", err)
+	}
+	return points, nil
+}
+
+// ReadServerBenchFile loads a BENCH_server.json snapshot from disk.
+func ReadServerBenchFile(path string) ([]ServerBenchPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadServerBenchJSON(f)
+}
+
+// WriteServerBenchJSON writes a snapshot as indented JSON.
+func WriteServerBenchJSON(w io.Writer, points []ServerBenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}

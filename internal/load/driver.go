@@ -1,0 +1,325 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Scenario is the workload; see Builtin / Builtins.
+	Scenario Scenario
+	// OpenLoop fires requests on a fixed schedule (RatePerSec) regardless
+	// of completions, instead of the default closed loop (Concurrency
+	// workers, each issuing its next request when the previous one
+	// returns). Open loop is restricted to KindSolve scenarios: a delta
+	// lane's ops are order-dependent, and an open scheduler cannot keep
+	// per-instance order without becoming a closed loop.
+	OpenLoop bool
+	// Concurrency is the closed-loop worker (= lane) count; in open loop
+	// it caps outstanding requests instead (ticks past the cap are counted
+	// as Dropped, not silently skipped). <= 0 means 4.
+	Concurrency int
+	// RatePerSec is the open-loop request schedule; required (> 0) there,
+	// ignored in closed loop.
+	RatePerSec float64
+	// Warmup runs the workload without recording; Measure is the recorded
+	// phase. Warmup <= 0 skips straight to measuring; Measure must be > 0.
+	Warmup, Measure time.Duration
+	// Seed pins the request streams: same (Scenario, Seed, Concurrency) →
+	// same requests, in the same per-lane order.
+	Seed int64
+	// Client overrides the HTTP client; nil builds one sized for
+	// Concurrency with no overall timeout (cancellation comes from ctx).
+	Client *http.Client
+}
+
+func (opt *Options) normalize() error {
+	if opt.BaseURL == "" {
+		return fmt.Errorf("load: no base URL")
+	}
+	if err := opt.Scenario.Validate(); err != nil {
+		return err
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4
+	}
+	if opt.Measure <= 0 {
+		return fmt.Errorf("load: non-positive measure duration")
+	}
+	if opt.Warmup < 0 {
+		opt.Warmup = 0
+	}
+	if opt.OpenLoop {
+		if opt.Scenario.Kind != KindSolve {
+			return fmt.Errorf("load: open loop supports only %s scenarios (%s lanes are order-dependent)",
+				KindSolve, KindDelta)
+		}
+		if opt.RatePerSec <= 0 {
+			return fmt.Errorf("load: open loop needs -rate > 0")
+		}
+	}
+	if opt.Client == nil {
+		tr := &http.Transport{MaxIdleConns: opt.Concurrency * 2, MaxIdleConnsPerHost: opt.Concurrency * 2}
+		opt.Client = &http.Client{Transport: tr}
+	}
+	return nil
+}
+
+// collector accumulates the measured phase. The latency reservoir is an
+// obs.Window — the same weighted-reservoir quantile math the server's SLO
+// windows use — with one giant bucket so the whole measure phase merges
+// into a single horizon. Counters are atomics; the window locks internally.
+type collector struct {
+	win      *obs.Window
+	status   [6]atomic.Int64 // indexed by statusSlot
+	requests atomic.Int64
+	dropped  atomic.Int64
+}
+
+// collectorSpan is the window bucket size: comfortably longer than any
+// sane measure phase, so every sample of a run lands in at most two
+// buckets and Stats over twice the span merges them all.
+const collectorSpan = time.Hour
+
+func newCollector() *collector {
+	return &collector{win: obs.NewWindow(2*collectorSpan, collectorSpan, 1<<14)}
+}
+
+var statusSlots = [...]string{"2xx", "4xx", "429", "499", "5xx", "transport"}
+
+func statusSlot(class string) int {
+	for i, s := range statusSlots {
+		if s == class {
+			return i
+		}
+	}
+	return len(statusSlots) - 1
+}
+
+// record books one completed request. Latency lands in the reservoir with
+// hard failures flagged as errors (429/499/4xx are accounted but are not
+// failures: the server answered, by design).
+func (c *collector) record(seconds float64, class string) {
+	c.requests.Add(1)
+	c.status[statusSlot(class)].Add(1)
+	c.win.Observe(seconds, class == "5xx" || class == "transport")
+}
+
+func (c *collector) report(opt Options, measured time.Duration) *Report {
+	st := c.win.Stats(2 * collectorSpan)
+	rep := &Report{
+		Scenario:       opt.Scenario.Name,
+		Mode:           "closed",
+		Concurrency:    opt.Concurrency,
+		Seed:           opt.Seed,
+		WarmupSeconds:  opt.Warmup.Seconds(),
+		MeasureSeconds: measured.Seconds(),
+		Requests:       c.requests.Load(),
+		MeanSeconds:    st.MeanSeconds,
+		P50Seconds:     st.P50,
+		P90Seconds:     st.P90,
+		P99Seconds:     st.P99,
+		Status:         map[string]int64{},
+		Dropped:        c.dropped.Load(),
+	}
+	if opt.OpenLoop {
+		rep.Mode = "open"
+		rep.TargetRPS = opt.RatePerSec
+	}
+	if s := measured.Seconds(); s > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / s
+	}
+	for i, name := range statusSlots {
+		if n := c.status[i].Load(); n > 0 {
+			rep.Status[name] = n
+		}
+	}
+	rep.Shed = rep.Status["429"]
+	rep.Errors = rep.Status["5xx"] + rep.Status["transport"]
+	return rep
+}
+
+// issue sends one op and returns its status class. The body is re-sliced
+// per call, so pre-encoded bodies are reused without copying.
+func issue(ctx context.Context, client *http.Client, base string, op Op) string {
+	var body io.Reader
+	if op.Body != nil {
+		body = bytes.NewReader(op.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, op.Method, base+op.Path, body)
+	if err != nil {
+		return "transport"
+	}
+	if op.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "transport"
+	}
+	// Drain so the connection is reusable; the payload itself is not the
+	// harness's business.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return statusClass(resp.StatusCode)
+}
+
+// Run executes the scenario and reports the measured phase. Setup (delta
+// instance creation and initial population) happens before the clock
+// starts; a setup failure aborts the run.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	lanes := make([]*laneStream, opt.Concurrency)
+	if opt.OpenLoop {
+		// One stream feeds the scheduler; solve streams are stateless
+		// cycles, so a single lane is the whole schedule.
+		ls, err := newLaneStream(opt.Scenario, opt.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		lanes = lanes[:1]
+		lanes[0] = ls
+	} else {
+		for w := range lanes {
+			ls, err := newLaneStream(opt.Scenario, opt.Seed, w)
+			if err != nil {
+				return nil, err
+			}
+			lanes[w] = ls
+		}
+	}
+
+	// Setup phase: sequential per lane, lanes in parallel. Any non-2xx
+	// answer is fatal — measuring against a half-built instance would
+	// produce a report about the wrong workload.
+	var setupErr error
+	var setupMu sync.Mutex
+	var wg sync.WaitGroup
+	for w, ls := range lanes {
+		wg.Add(1)
+		go func(w int, ls *laneStream) {
+			defer wg.Done()
+			for i, op := range ls.setup {
+				if ctx.Err() != nil {
+					return
+				}
+				if class := issue(ctx, opt.Client, opt.BaseURL, op); class != "2xx" {
+					setupMu.Lock()
+					if setupErr == nil {
+						setupErr = fmt.Errorf("load: lane %d setup op %d (%s %s) answered %s",
+							w, i, op.Method, op.Path, class)
+					}
+					setupMu.Unlock()
+					return
+				}
+			}
+		}(w, ls)
+	}
+	wg.Wait()
+	if setupErr != nil {
+		return nil, setupErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	col := newCollector()
+	start := time.Now()
+	measureStart := start.Add(opt.Warmup)
+	deadline := measureStart.Add(opt.Measure)
+	runCtx, cancel := context.WithDeadline(ctx, deadline.Add(30*time.Second))
+	defer cancel()
+
+	if opt.OpenLoop {
+		runOpen(runCtx, opt, lanes[0], col, measureStart, deadline)
+	} else {
+		runClosed(runCtx, opt, lanes, col, measureStart, deadline)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return col.report(opt, opt.Measure), nil
+}
+
+// runClosed drives Concurrency workers, each owning one lane: issue, wait,
+// record, repeat until the deadline.
+func runClosed(ctx context.Context, opt Options, lanes []*laneStream, col *collector, measureStart, deadline time.Time) {
+	var wg sync.WaitGroup
+	for _, ls := range lanes {
+		wg.Add(1)
+		go func(ls *laneStream) {
+			defer wg.Done()
+			for {
+				issued := time.Now()
+				if issued.After(deadline) || ctx.Err() != nil {
+					return
+				}
+				op := ls.next()
+				class := issue(ctx, opt.Client, opt.BaseURL, op)
+				if !issued.Before(measureStart) {
+					col.record(time.Since(issued).Seconds(), class)
+				}
+			}
+		}(ls)
+	}
+	wg.Wait()
+}
+
+// runOpen fires requests on the RatePerSec schedule regardless of
+// completions, up to the outstanding cap. Late completions still record
+// (their latency is the point of an open-loop measurement); ticks at the
+// cap count as dropped.
+func runOpen(ctx context.Context, opt Options, ls *laneStream, col *collector, measureStart, deadline time.Time) {
+	interval := time.Duration(float64(time.Second) / opt.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, opt.Concurrency)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-ticker.C:
+		}
+		issued := time.Now()
+		if issued.After(deadline) {
+			wg.Wait()
+			return
+		}
+		op := ls.next()
+		select {
+		case sem <- struct{}{}:
+		default:
+			if !issued.Before(measureStart) {
+				col.dropped.Add(1)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			class := issue(ctx, opt.Client, opt.BaseURL, op)
+			if !issued.Before(measureStart) {
+				col.record(time.Since(issued).Seconds(), class)
+			}
+		}()
+	}
+}

@@ -1,0 +1,150 @@
+package load
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/server"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h, err := server.NewWithConfig(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// smallSolve and smallDelta are scaled-down scenarios so the driver tests
+// finish in well under a second of measure time.
+var smallSolve = Scenario{
+	Name: "test-solve", Kind: KindSolve,
+	Algo: "greedy", Events: 5, Users: 30, CFRatio: 0.2, Variants: 2,
+}
+
+var smallDelta = Scenario{
+	Name: "test-delta", Kind: KindDelta,
+	Dim: 3, MaxT: 50, SetupEvents: 4, SetupUsers: 10,
+	Mix: Mix{AddEvent: 2, AddUser: 4, CancelEvent: 1, CancelUser: 1, Rebalance: 1},
+}
+
+func runScenario(t *testing.T, sc Scenario, openLoop bool) *Report {
+	t.Helper()
+	srv := testServer(t)
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Scenario:    sc,
+		OpenLoop:    openLoop,
+		RatePerSec:  200,
+		Concurrency: 2,
+		Warmup:      100 * time.Millisecond,
+		Measure:     500 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunClosedSolve(t *testing.T) {
+	rep := runScenario(t, smallSolve, false)
+	if rep.Requests == 0 || rep.AchievedRPS <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors against a healthy server: %+v", rep)
+	}
+	if rep.Status["2xx"] != rep.Requests {
+		t.Fatalf("non-2xx answers: %+v", rep.Status)
+	}
+	if rep.P99Seconds < rep.P50Seconds || rep.P50Seconds <= 0 {
+		t.Fatalf("incoherent quantiles: %+v", rep)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+}
+
+func TestRunClosedDelta(t *testing.T) {
+	rep := runScenario(t, smallDelta, false)
+	if rep.Requests == 0 || rep.Errors != 0 || rep.Status["2xx"] != rep.Requests {
+		t.Fatalf("delta run unhealthy: %+v", rep)
+	}
+}
+
+func TestRunOpenSolve(t *testing.T) {
+	rep := runScenario(t, smallSolve, true)
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("open run unhealthy: %+v", rep)
+	}
+	if rep.Mode != "open" || rep.TargetRPS != 200 {
+		t.Fatalf("open-loop report mislabeled: %+v", rep)
+	}
+}
+
+// TestOpenLoopRejectsDelta: open loop cannot preserve per-instance op
+// order, so delta scenarios must be refused up front.
+func TestOpenLoopRejectsDelta(t *testing.T) {
+	_, err := Run(context.Background(), Options{
+		BaseURL: "http://127.0.0.1:1", Scenario: smallDelta,
+		OpenLoop: true, RatePerSec: 10, Measure: time.Second,
+	})
+	if err == nil {
+		t.Fatal("open-loop delta run was not rejected")
+	}
+}
+
+// TestRunSetupFailureAborts: a dead server must fail the run during setup,
+// not produce a report full of transport errors.
+func TestRunSetupFailureAborts(t *testing.T) {
+	_, err := Run(context.Background(), Options{
+		BaseURL: "http://127.0.0.1:1", Scenario: smallDelta,
+		Measure: time.Second, Concurrency: 1,
+	})
+	if err == nil {
+		t.Fatal("setup against a dead server did not fail the run")
+	}
+}
+
+func TestCompareServerBench(t *testing.T) {
+	old := []ServerBenchPoint{
+		{Scenario: "a", P99Seconds: 0.010, AchievedRPS: 1000},
+		{Scenario: "b", P99Seconds: 0.020, AchievedRPS: 500},
+		{Scenario: "gone", P99Seconds: 0.1, AchievedRPS: 10},
+	}
+	fresh := []ServerBenchPoint{
+		{Scenario: "a", P99Seconds: 0.011, AchievedRPS: 990},  // within tolerance
+		{Scenario: "b", P99Seconds: 0.030, AchievedRPS: 500},  // p99 +50%
+		{Scenario: "new", P99Seconds: 0.005, AchievedRPS: 100},
+	}
+	deltas, onlyOld, onlyNew := CompareServerBench(old, fresh)
+	if len(deltas) != 2 || len(onlyOld) != 1 || len(onlyNew) != 1 {
+		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v", len(deltas), onlyOld, onlyNew)
+	}
+	if deltas[0].Scenario != "b" {
+		t.Fatalf("worst slowdown first, got %q", deltas[0].Scenario)
+	}
+	report, regressed := FormatServerComparison(deltas, onlyOld, onlyNew, 0.20)
+	if len(regressed) != 1 || regressed[0] != "b" {
+		t.Fatalf("regressed = %v\n%s", regressed, report)
+	}
+
+	// Throughput loss alone regresses too.
+	d := ServerDelta{Scenario: "c", OldP99: 0.01, NewP99: 0.01, OldRPS: 1000, NewRPS: 700}
+	if !d.Regressed(0.20) {
+		t.Fatal("25% throughput loss not flagged")
+	}
+	if d2 := (ServerDelta{Scenario: "d", OldP99: 0.01, NewP99: 0.011, OldRPS: 1000, NewRPS: 950}); d2.Regressed(0.20) {
+		t.Fatal("in-tolerance point flagged")
+	}
+}

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is one load run's result — the JSON artifact geacc-load emits and
+// BENCH_server.json points are distilled from. Latency quantiles cover only
+// requests issued during the measure phase (warmup is discarded), and
+// AchievedRPS counts completed requests over the measure wall-clock, so an
+// open-loop run that collapses under queueing shows the gap between target
+// and achieved rate directly.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Concurrency int     `json:"concurrency"`
+	TargetRPS   float64 `json:"target_rps,omitempty"` // open loop only
+	Seed        int64   `json:"seed"`
+
+	WarmupSeconds  float64 `json:"warmup_seconds"`
+	MeasureSeconds float64 `json:"measure_seconds"`
+
+	Requests    int64   `json:"requests"` // completed during measure
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+
+	// Status buckets completed requests: "2xx", "4xx" (excluding 429),
+	// "429", "499", "5xx", and "transport" for requests that never got a
+	// status line.
+	Status map[string]int64 `json:"status"`
+	// Shed = Status["429"]: requests the admission controller rejected.
+	Shed int64 `json:"shed"`
+	// Errors = 5xx + transport failures: the run's hard-failure count.
+	Errors int64 `json:"errors"`
+	// Dropped counts open-loop ticks skipped because the outstanding-
+	// request cap was reached — the client, not the server, fell behind.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// statusClass buckets one HTTP status for Report.Status.
+func statusClass(code int) string {
+	switch {
+	case code == 429:
+		return "429"
+	case code == 499:
+		return "499"
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	default:
+		return "2xx"
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Format renders the report as a human-oriented summary block.
+func (rep *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s  mode=%s  concurrency=%d  seed=%d\n",
+		rep.Scenario, rep.Mode, rep.Concurrency, rep.Seed)
+	if rep.TargetRPS > 0 {
+		fmt.Fprintf(&b, "target %.1f req/s  ", rep.TargetRPS)
+	}
+	fmt.Fprintf(&b, "achieved %.1f req/s over %.1fs (%d requests)\n",
+		rep.AchievedRPS, rep.MeasureSeconds, rep.Requests)
+	fmt.Fprintf(&b, "latency p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs\n",
+		rep.P50Seconds, rep.P90Seconds, rep.P99Seconds, rep.MeanSeconds)
+	keys := make([]string, 0, len(rep.Status))
+	for k := range rep.Status {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "status")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, rep.Status[k])
+	}
+	fmt.Fprintf(&b, "  shed=%d errors=%d", rep.Shed, rep.Errors)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(&b, " dropped=%d", rep.Dropped)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Method != b[i].Method || a[i].Path != b[i].Path || !bytes.Equal(a[i].Body, b[i].Body) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOpsDeterministic is the seed-determinism property: for every builtin
+// scenario, the same (scenario, seed, lane) produces a byte-identical op
+// stream, a different seed diverges, and different lanes are decorrelated.
+func TestOpsDeterministic(t *testing.T) {
+	const n = 200
+	for _, sc := range Builtins() {
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := Ops(sc, 7, 3, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Ops(sc, 7, 3, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !opsEqual(a, b) {
+				t.Fatal("same (scenario, seed, lane) produced different streams")
+			}
+			c, err := Ops(sc, 8, 3, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opsEqual(a, c) {
+				t.Fatal("different seeds produced identical streams")
+			}
+			d, err := Ops(sc, 7, 4, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Kind == KindDelta && opsEqual(a, d) {
+				t.Fatal("different lanes produced identical delta streams")
+			}
+		})
+	}
+}
+
+// TestDeltaOpsValid replays a delta lane's stream against a model of the
+// arranger's id space: every cancel must reference an id that was added
+// earlier, and every conflict reference must name an earlier event —
+// otherwise the server would 4xx mid-run.
+func TestDeltaOpsValid(t *testing.T) {
+	sc, err := Builtin("delta-mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Ops(sc, 42, 0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops[0].Method != "POST" || ops[0].Path != "/instances" {
+		t.Fatalf("first setup op must create the instance, got %s %s", ops[0].Method, ops[0].Path)
+	}
+	var create createBody
+	if err := json.Unmarshal(ops[0].Body, &create); err != nil {
+		t.Fatal(err)
+	}
+	if create.ID != "load-delta-mix-0" {
+		t.Fatalf("lane 0 instance id %q", create.ID)
+	}
+
+	nEvents, nUsers, rebalances := 0, 0, 0
+	for i, op := range ops[1:] {
+		switch {
+		case strings.HasSuffix(op.Path, "/events"):
+			var b addEventBody
+			if err := json.Unmarshal(op.Body, &b); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if len(b.Attrs) != sc.Dim || b.Cap < 1 {
+				t.Fatalf("op %d: bad event body %+v", i, b)
+			}
+			for _, c := range b.Conflicts {
+				if c < 0 || c >= nEvents {
+					t.Fatalf("op %d: conflict %d out of range [0, %d)", i, c, nEvents)
+				}
+			}
+			nEvents++
+		case strings.HasSuffix(op.Path, "/users"):
+			var b addUserBody
+			if err := json.Unmarshal(op.Body, &b); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if len(b.Attrs) != sc.Dim || b.Cap < 1 {
+				t.Fatalf("op %d: bad user body %+v", i, b)
+			}
+			nUsers++
+		case strings.HasSuffix(op.Path, "/cancel"):
+			var b cancelBody
+			if err := json.Unmarshal(op.Body, &b); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			switch {
+			case b.Event != nil:
+				if *b.Event < 0 || *b.Event >= nEvents {
+					t.Fatalf("op %d: cancel event %d out of range [0, %d)", i, *b.Event, nEvents)
+				}
+			case b.User != nil:
+				if *b.User < 0 || *b.User >= nUsers {
+					t.Fatalf("op %d: cancel user %d out of range [0, %d)", i, *b.User, nUsers)
+				}
+			default:
+				t.Fatalf("op %d: cancel names neither side", i)
+			}
+		case strings.Contains(op.Path, "/rebalance"):
+			rebalances++
+		default:
+			t.Fatalf("op %d: unexpected path %s", i, op.Path)
+		}
+	}
+	if rebalances == 0 {
+		t.Fatal("2000 delta-mix ops produced no rebalance")
+	}
+}
+
+// TestScenarioValidate covers the rejection paths.
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{},
+		{Name: "x", Kind: "wat"},
+		{Name: "x", Kind: KindSolve, Algo: "greedy", Events: 0, Users: 5, Variants: 1},
+		{Name: "x", Kind: KindSolve, Events: 5, Users: 5, Variants: 1},
+		{Name: "x", Kind: KindSolve, Algo: "greedy", Events: 5, Users: 5},
+		{Name: "x", Kind: KindDelta, Dim: 0, MaxT: 1, Mix: Mix{AddUser: 1}},
+		{Name: "x", Kind: KindDelta, Dim: 2, MaxT: 1},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scenario %d validated", i)
+		}
+	}
+	for _, sc := range Builtins() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", sc.Name, err)
+		}
+	}
+	if _, err := Builtin("nope"); err == nil {
+		t.Error("unknown builtin name resolved")
+	}
+}

@@ -101,25 +101,8 @@ func NewSolver(g *Graph, s, t int) *Solver {
 	if s < 0 || s >= g.numNodes || t < 0 || t >= g.numNodes || s == t {
 		panic(fmt.Sprintf("mincostflow: invalid terminals s=%d t=%d (n=%d)", s, t, g.numNodes))
 	}
-	sv := &Solver{
-		g:    g,
-		s:    s,
-		t:    t,
-		pot:  make([]float64, g.numNodes),
-		dist: make([]float64, g.numNodes),
-		prev: make([]int32, g.numNodes),
-		heap: pqueue.NewIndexedMinHeap(g.numNodes),
-	}
-	hasNegative := false
-	for i := 0; i < len(g.cost); i += 2 {
-		if g.cap[i] > 0 && g.cost[i] < 0 {
-			hasNegative = true
-			break
-		}
-	}
-	if hasNegative {
-		sv.bellmanFordPotentials()
-	}
+	sv := &Solver{}
+	sv.Reset(g, s, t)
 	return sv
 }
 

@@ -33,6 +33,18 @@ func NewPairHeap(numUsers int) *PairHeap {
 // Len returns the number of pairs currently in the heap.
 func (h *PairHeap) Len() int { return len(h.items) }
 
+// Reset empties the heap — items and the visited set both — and re-targets
+// it at a new user count, keeping the allocated storage so one heap serves
+// many Greedy runs (core pools them per solve).
+func (h *PairHeap) Reset(numUsers int) {
+	if h.seen == nil {
+		h.seen = make(map[int64]struct{})
+	}
+	clear(h.seen)
+	h.items = h.items[:0]
+	h.width = int64(numUsers)
+}
+
 // Contains reports whether the pair was ever pushed (it may have been popped
 // since). This is the "∈ H or visited" test of Algorithm 2.
 func (h *PairHeap) Contains(v, u int) bool {

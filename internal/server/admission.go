@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/ebsnlab/geacc/internal/obs"
+)
+
+// Admission control for the solver-heavy endpoints (/solve, /trace,
+// /report, /instances/{id}/rebalance): a bounded concurrency gate plus a
+// bounded waiting queue. Up to MaxInflight solves run at once; the next
+// QueueDepth requests wait up to QueueTimeout for a slot; everything beyond
+// that — and every queued request whose wait expires — is shed immediately
+// as 429 + Retry-After. Saturation therefore degrades to fast, cheap
+// rejections (no body parsed, no solver entered) instead of an unbounded
+// goroutine pile-up, and the latency of *accepted* requests stays bounded
+// by queue-timeout + solve time. Deltas and the read/probe endpoints are
+// deliberately ungated: they are microseconds of work and must stay
+// responsive exactly when the solve queue is full.
+//
+// /readyz reads the same controller (see handleReadyz): the process reports
+// overloaded when the next solve would be shed, so the load-balancer signal
+// and the per-request behavior cannot drift apart.
+
+// Admission defaults; Config.MaxInflight/QueueDepth/QueueTimeout override.
+const (
+	DefaultMaxInflight  = 64
+	DefaultQueueDepth   = 256
+	DefaultQueueTimeout = 2 * time.Second
+)
+
+// Admission metrics; catalog in docs/OBSERVABILITY.md.
+var (
+	admissionInflight  = obs.Default().Gauge("geacc_admission_inflight")
+	admissionQueued    = obs.Default().Gauge("geacc_admission_queued")
+	admissionAccepted  = obs.Default().Counter("geacc_admission_accepted_total")
+	admissionQueueWait = obs.Default().Histogram("geacc_admission_queue_wait_seconds", obs.DefaultLatencyBuckets)
+)
+
+func admissionShed(reason string) *obs.Counter {
+	return obs.Default().Counter(obs.Label("geacc_admission_shed_total", "reason", reason))
+}
+
+// shedError is the 429 payload source: why this request was not admitted.
+type shedError struct{ reason string }
+
+func (e *shedError) Error() string {
+	switch e.reason {
+	case "queue_full":
+		return "server: solve queue full; retry later"
+	case "timeout":
+		return "server: solve queue wait exceeded the queue timeout; retry later"
+	}
+	return "server: overloaded; retry later"
+}
+
+// admission is the gate itself. sem holds one token per running solve;
+// queued counts waiters, bounded by depth.
+type admission struct {
+	max     int
+	depth   int64
+	timeout time.Duration
+	sem     chan struct{}
+	queued  atomic.Int64
+}
+
+func newAdmission(maxInflight, queueDepth int, queueTimeout time.Duration) *admission {
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	// QueueDepth: 0 means default, negative disables queueing entirely
+	// (overload sheds the instant all slots are busy).
+	depth := int64(queueDepth)
+	if queueDepth == 0 {
+		depth = DefaultQueueDepth
+	} else if queueDepth < 0 {
+		depth = 0
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
+	return &admission{
+		max:     maxInflight,
+		depth:   depth,
+		timeout: queueTimeout,
+		sem:     make(chan struct{}, maxInflight),
+	}
+}
+
+// acquire admits the request (possibly after a bounded queue wait) or
+// returns a *shedError (shed) / ctx.Err() (client gone while queued). On
+// nil error the caller MUST release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		admissionInflight.Add(1)
+		admissionAccepted.Inc()
+		admissionQueueWait.Observe(0)
+		return nil
+	default:
+	}
+	// All slots busy: try to queue. The atomic add is the reservation, so
+	// the bound is exact even under a thundering herd.
+	if a.queued.Add(1) > a.depth {
+		a.queued.Add(-1)
+		admissionShed("queue_full").Inc()
+		return &shedError{reason: "queue_full"}
+	}
+	admissionQueued.Add(1)
+	start := time.Now()
+	timer := time.NewTimer(a.timeout)
+	defer func() {
+		timer.Stop()
+		a.queued.Add(-1)
+		admissionQueued.Add(-1)
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		admissionInflight.Add(1)
+		admissionAccepted.Inc()
+		admissionQueueWait.Observe(time.Since(start).Seconds())
+		return nil
+	case <-timer.C:
+		admissionShed("timeout").Inc()
+		return &shedError{reason: "timeout"}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot acquired by a successful acquire.
+func (a *admission) release() {
+	<-a.sem
+	admissionInflight.Add(-1)
+}
+
+// saturated reports whether the next solve would be shed: every slot busy
+// and the queue at depth. /readyz's load check.
+func (a *admission) saturated() bool {
+	return len(a.sem) >= a.max && a.queued.Load() >= a.depth
+}
+
+// loadCheck renders the /readyz "load" line from the controller's live
+// state, naming the same limits the admission decision uses.
+func (a *admission) loadCheck() (string, bool) {
+	inflight, queued := len(a.sem), a.queued.Load()
+	if a.saturated() {
+		return fmt.Sprintf("overloaded: solve queue full (%d solving, %d queued; limits max_inflight=%d queue_depth=%d)",
+			inflight, queued, a.max, a.depth), false
+	}
+	return fmt.Sprintf("ok (%d solving, %d queued; limits max_inflight=%d queue_depth=%d)",
+		inflight, queued, a.max, a.depth), true
+}
+
+// admit wraps acquire with the HTTP answer: a shed becomes 429 +
+// Retry-After, a client that vanished while queued becomes 499. It returns
+// the release func (nil when not admitted).
+func (s *service) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if err := s.adm.acquire(r.Context()); err != nil {
+		var shed *shedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusTooManyRequests, err)
+			return nil, false
+		}
+		writeError(w, r, solveErrorStatus(err, http.StatusServiceUnavailable), err)
+		return nil, false
+	}
+	if s.admitHold != nil {
+		// Test hook: park admitted requests here so shed behavior can be
+		// observed deterministically.
+		<-s.admitHold
+	}
+	return s.adm.release, true
+}

@@ -25,10 +25,6 @@ import (
 // -snapshot-every overrides it).
 const DefaultSnapshotEvery = 256
 
-// DefaultReadyMaxInflight is the in-flight request count above which
-// /readyz reports overload (Config.ReadyMaxInflight overrides it).
-const DefaultReadyMaxInflight = 256
-
 // rebalanceHistory bounds each instance's ring of recent rebalance
 // outcomes (GET /instances/{id}/stats).
 const rebalanceHistory = 16
@@ -47,10 +43,11 @@ func deltaOps(op string) *obs.Counter {
 // arrangers, each with its own lock and (when a data directory is
 // configured) its own write-ahead log + snapshot pair.
 type service struct {
-	log              *slog.Logger
-	st               *store.Store // nil: instances are ephemeral
-	snapshotEvery    int
-	readyMaxInflight int64
+	log           *slog.Logger
+	st            *store.Store // nil: instances are ephemeral
+	snapshotEvery int
+	adm           *admission
+	admitHold     chan struct{} // test hook; see Config.admitHold
 
 	// ready flips true once startup replay has finished; the instance
 	// endpoints and /readyz gate on it. replayErr holds the failure message
@@ -110,17 +107,14 @@ func newService(log *slog.Logger, cfg Config) (*service, error) {
 	if snapshotEvery <= 0 {
 		snapshotEvery = DefaultSnapshotEvery
 	}
-	maxInflight := int64(cfg.ReadyMaxInflight)
-	if maxInflight <= 0 {
-		maxInflight = DefaultReadyMaxInflight
-	}
 	s := &service{
-		log:              log,
-		snapshotEvery:    snapshotEvery,
-		readyMaxInflight: maxInflight,
-		instances:        make(map[string]*instance),
-		httpWindows:      make(map[string]*obs.Window),
-		solveWindows:     make(map[string]*obs.Window),
+		log:           log,
+		snapshotEvery: snapshotEvery,
+		adm:           newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueTimeout),
+		admitHold:     cfg.admitHold,
+		instances:     make(map[string]*instance),
+		httpWindows:   make(map[string]*obs.Window),
+		solveWindows:  make(map[string]*obs.Window),
 	}
 	if cfg.DataDir == "" {
 		s.ready.Store(true)
@@ -688,6 +682,11 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	if !s.gateReady(w, r) {
 		return
 	}
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	inst, ok := s.get(w, r, r.PathValue("id"))
 	if !ok {
 		return

@@ -54,14 +54,28 @@ type Config struct {
 	// instead of its TCP connects. The default (false) replays
 	// synchronously, which is what tests and embedders usually want.
 	LazyReplay bool
-	// ReadyMaxInflight is the in-flight request count above which /readyz
-	// reports overload; <= 0 means DefaultReadyMaxInflight.
-	ReadyMaxInflight int
+	// MaxInflight bounds the solver-heavy requests (/solve, /trace,
+	// /report, rebalances) running concurrently; <= 0 means
+	// DefaultMaxInflight. The next QueueDepth requests wait up to
+	// QueueTimeout for a slot; beyond that the service sheds with 429 +
+	// Retry-After. /readyz reports overload from the same limits.
+	MaxInflight int
+	// QueueDepth bounds how many solver requests may wait for a slot.
+	// 0 means DefaultQueueDepth; negative disables queueing (overload
+	// sheds as soon as every slot is busy).
+	QueueDepth int
+	// QueueTimeout is the longest a queued solver request waits before it
+	// is shed; <= 0 means DefaultQueueTimeout.
+	QueueTimeout time.Duration
 
 	// replayHold, when non-nil with LazyReplay, blocks the background
 	// replay until the channel is closed — a test hook for observing the
 	// not-yet-ready window deterministically.
 	replayHold chan struct{}
+	// admitHold, when non-nil, parks every admitted solver request until
+	// the channel is closed — a test hook for filling the admission window
+	// and observing shed behavior deterministically.
+	admitHold chan struct{}
 }
 
 // New returns the service's handler, wrapped in the metrics middleware.
@@ -116,8 +130,8 @@ func newHandler(cfg Config) (http.Handler, *service, error) {
 	mux.HandleFunc("GET /version", handleVersion)
 	mux.HandleFunc("GET /algorithms", handleAlgorithms)
 	mux.HandleFunc("POST /solve", svc.handleSolve)
-	mux.HandleFunc("POST /trace", handleTrace)
-	mux.HandleFunc("POST /report", handleReport)
+	mux.HandleFunc("POST /trace", svc.handleTrace)
+	mux.HandleFunc("POST /report", svc.handleReport)
 	mux.HandleFunc("POST /validate", handleValidate)
 	mux.HandleFunc("GET /metrics", svc.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -238,6 +252,11 @@ func boolParam(r *http.Request, name string) bool {
 }
 
 func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
@@ -408,7 +427,12 @@ type TraceStepJSON struct {
 	Reason   string  `json:"reason,omitempty"`
 }
 
-func handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
@@ -524,7 +548,12 @@ func decodePair(w http.ResponseWriter, r *http.Request) (*core.Instance, *core.M
 	return in, m, true
 }
 
-func handleReport(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	in, m, ok := decodePair(w, r)
 	if !ok {
 		return

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"runtime"
 	"time"
@@ -160,13 +159,14 @@ func (s *service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		checks["store"] = "ok"
 	}
 
-	// The probe itself is in flight, so the comparison is off by the one
-	// request doing the asking — noise next to any real threshold.
-	if n := httpInflight.Value(); n > s.readyMaxInflight {
-		checks["load"] = fmt.Sprintf("overloaded: %d requests in flight (max %d)", n, s.readyMaxInflight)
+	// Load readiness comes from the admission controller itself — the same
+	// limits that decide per-request 429s decide the probe, so the
+	// load-balancer signal and the shed behavior cannot drift apart: the
+	// probe fails exactly when the next solve would be shed.
+	msg, ok := s.adm.loadCheck()
+	checks["load"] = msg
+	if !ok {
 		ready = false
-	} else {
-		checks["load"] = "ok"
 	}
 
 	status := http.StatusOK

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Load smoke test: build the real geacc-server and geacc-load binaries,
+# boot the server, and run ~30s of closed-loop load across both workload
+# shapes — stateless solves and stateful instance-delta streams. Passes
+# when both runs show nonzero throughput and zero hard failures (no 5xx,
+# no transport errors). This is the "does the service survive sustained
+# concurrent load on a real binary" check; latency regressions are gated
+# separately by `make bench-server` / `geacc-load -compare`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-$((18080 + RANDOM % 1000))}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+# Per-scenario measure phase; two scenarios plus warmups ≈ 30s total.
+MEASURE="${LOAD_SMOKE_MEASURE:-12s}"
+WARMUP="${LOAD_SMOKE_WARMUP:-2s}"
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- server log (tail) ---" >&2
+    tail -50 "$TMP/server.log" >&2 || true
+    exit 1
+}
+
+echo "== building geacc-server and geacc-load"
+go build -o "$TMP/geacc-server" ./cmd/geacc-server
+go build -o "$TMP/geacc-load" ./cmd/geacc-load
+
+echo "== starting on :${PORT}"
+"$TMP/geacc-server" -addr "127.0.0.1:${PORT}" -log-format json \
+    >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "== waiting for /readyz"
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    [ "$i" = 100 ] && fail "/readyz never answered 200"
+    sleep 0.1
+done
+
+for scenario in solve-greedy delta-mix; do
+    echo "== ${scenario}: closed loop, warmup ${WARMUP}, measure ${MEASURE}"
+    "$TMP/geacc-load" -addr "$BASE" -scenario "$scenario" \
+        -concurrency 8 -warmup "$WARMUP" -measure "$MEASURE" \
+        -out "$TMP/${scenario}.json" || fail "${scenario}: load run failed"
+    jq -e '.requests > 0 and .achieved_rps > 0' "$TMP/${scenario}.json" >/dev/null \
+        || fail "${scenario}: zero throughput: $(cat "$TMP/${scenario}.json")"
+    jq -e '.errors == 0 and ((.status["5xx"] // 0) == 0)' "$TMP/${scenario}.json" >/dev/null \
+        || fail "${scenario}: hard failures: $(cat "$TMP/${scenario}.json")"
+    echo "   $(jq -r '"\(.requests) requests, \(.achieved_rps) req/s, p99 \(.p99_seconds)s"' "$TMP/${scenario}.json")"
+done
+
+echo "== server survived; checking it is still ready"
+curl -fsS "$BASE/readyz" >/dev/null || fail "server not ready after load"
+
+echo "PASS: load smoke"
