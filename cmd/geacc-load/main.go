@@ -16,7 +16,11 @@
 // server handler (ephemeral instances) on a loopback listener and loads
 // that — the mode the repo's pinned snapshot and CI smoke use, so results
 // do not depend on an externally managed process. The standard suite
-// behind -pin/-compare is the closed-loop pair (solve-greedy, delta-mix).
+// behind -pin/-compare runs the closed-loop lanes (solve-greedy,
+// delta-mix, solve-repeat, solve-repeat-cold) plus an open-loop overload
+// lane (overload-mincostflow) that self-hosts a deliberately tiny
+// admission config and is gated on shed rate and accepted-request p99
+// rather than raw throughput.
 //
 // Closed loop (default) runs -concurrency workers, each issuing its next
 // request when the previous answer lands — throughput floats, latency is
@@ -60,6 +64,22 @@ func main() {
 		return
 	}
 
+	opt := load.Options{
+		OpenLoop:    *open,
+		RatePerSec:  *rate,
+		Concurrency: *concurrency,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Seed:        *seed,
+	}
+
+	if *pin != "" || *compare != "" {
+		if err := runSuite(*addr, opt, *pin, *compare, *tol); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	base := *addr
 	if base == "" {
 		handler, err := server.NewWithConfig(server.Config{})
@@ -71,23 +91,7 @@ func main() {
 		base = ts.URL
 		fmt.Fprintf(os.Stderr, "self-hosting in-process server at %s\n", base)
 	}
-
-	opt := load.Options{
-		BaseURL:     base,
-		OpenLoop:    *open,
-		RatePerSec:  *rate,
-		Concurrency: *concurrency,
-		Warmup:      *warmup,
-		Measure:     *measure,
-		Seed:        *seed,
-	}
-
-	if *pin != "" || *compare != "" {
-		if err := runSuite(opt, *pin, *compare, *tol); err != nil {
-			fatal(err)
-		}
-		return
-	}
+	opt.BaseURL = base
 
 	sc, err := load.Builtin(*scenario)
 	if err != nil {
@@ -117,27 +121,77 @@ func main() {
 	}
 }
 
-// suite is the standard pinned pair: one stateless solve scenario and one
-// stateful delta scenario, both closed loop.
-var suite = []string{"solve-greedy", "delta-mix"}
+// suiteLane is one entry of the standard pinned suite: a builtin scenario
+// plus the loop shape, gate, and (when self-hosting) the server config it
+// runs against.
+type suiteLane struct {
+	scenario    string
+	open        bool
+	rate        float64 // open-loop offered rate
+	concurrency int     // 0 keeps the -concurrency flag's value
+	gate        string  // ServerBenchPoint.Gate; "" is the latency gate
+	cfg         server.Config
+}
+
+// suite is the standard pinned set. The closed-loop lanes gate latency and
+// throughput; solve-repeat vs solve-repeat-cold pins the memo-cache hit
+// path against its cold baseline. The overload lane self-hosts a
+// deliberately tiny admission config (2 inflight, no queue) and offers
+// more load than that capacity, so its pinned numbers are the shed rate
+// and the accepted-request p99 — the axes its "overload" gate compares.
+var suite = []suiteLane{
+	{scenario: "solve-greedy"},
+	{scenario: "delta-mix"},
+	{scenario: "solve-repeat"},
+	{scenario: "solve-repeat-cold"},
+	{
+		scenario: "overload-mincostflow",
+		open:     true, rate: 60, concurrency: 16,
+		gate: "overload",
+		cfg:  server.Config{MaxInflight: 2, QueueDepth: -1},
+	},
+}
 
 // runSuite measures the standard suite and either pins the snapshot or
-// gates against a committed one.
-func runSuite(opt load.Options, pinPath, comparePath string, tol float64) error {
-	opt.OpenLoop = false
+// gates against a committed one. With an empty addr every lane self-hosts
+// its own in-process server (fresh state, per-lane admission config); with
+// an explicit addr all lanes share it and the overload lane measures that
+// server's admission config instead of the suite's tiny one.
+func runSuite(addr string, opt load.Options, pinPath, comparePath string, tol float64) error {
 	var points []load.ServerBenchPoint
-	for _, name := range suite {
-		sc, err := load.Builtin(name)
+	for _, lane := range suite {
+		sc, err := load.Builtin(lane.scenario)
 		if err != nil {
 			return err
 		}
-		opt.Scenario = sc
-		rep, err := load.Run(context.Background(), opt)
+		laneOpt := opt
+		laneOpt.Scenario = sc
+		laneOpt.OpenLoop = lane.open
+		laneOpt.RatePerSec = lane.rate
+		if lane.concurrency > 0 {
+			laneOpt.Concurrency = lane.concurrency
+		}
+		laneOpt.BaseURL = addr
+		var ts *httptest.Server
+		if addr == "" {
+			handler, err := server.NewWithConfig(lane.cfg)
+			if err != nil {
+				return err
+			}
+			ts = httptest.NewServer(handler)
+			laneOpt.BaseURL = ts.URL
+		}
+		rep, err := load.Run(context.Background(), laneOpt)
+		if ts != nil {
+			ts.Close()
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(os.Stderr, rep.Format())
-		points = append(points, rep.Point())
+		point := rep.Point()
+		point.Gate = lane.gate
+		points = append(points, point)
 	}
 	if pinPath != "" {
 		f, err := os.Create(pinPath)

@@ -7,7 +7,7 @@
 //
 //	geacc-server -addr :8080 [-data-dir ./data] [-snapshot-every 256]
 //	             [-max-inflight 64] [-queue-depth 256] [-queue-timeout 2s]
-//	             [-debug-addr :6060] [-log-format json]
+//	             [-solve-cache-entries 512] [-debug-addr :6060] [-log-format json]
 //
 //	curl localhost:8080/algorithms
 //	curl -XPOST --data-binary @instance.json 'localhost:8080/solve?algo=greedy'
@@ -70,6 +70,8 @@ func main() {
 		"solver requests allowed to wait for a slot; beyond this the server sheds 429 immediately (negative disables queueing)")
 	queueTimeout := flag.Duration("queue-timeout", server.DefaultQueueTimeout,
 		"longest a queued solver request waits before it is shed with 429")
+	solveCacheEntries := flag.Int("solve-cache-entries", server.DefaultSolveCacheEntries,
+		"entries in the content-addressed /solve memo cache (negative disables caching; per-request opt-out via ?cache=0)")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
@@ -96,6 +98,8 @@ func main() {
 		MaxInflight:   *maxInflight,
 		QueueDepth:    *queueDepth,
 		QueueTimeout:  *queueTimeout,
+
+		SolveCacheEntries: *solveCacheEntries,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)

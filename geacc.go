@@ -43,6 +43,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/sim"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
 // Event is an event: its attribute vector and attendee capacity.
@@ -99,6 +100,11 @@ func (a Algorithm) String() string {
 // Problem is a GEACC instance ready to solve.
 type Problem struct {
 	in *core.Instance
+	// simID is the canonical similarity identity for solve-cache keying
+	// ("euclidean/4/100", "cosine", ...); empty for custom similarity
+	// functions, whose content the cache cannot hash (such problems always
+	// solve fresh). Matrix problems are self-describing and need no id.
+	simID string
 }
 
 // Option configures NewProblem.
@@ -106,6 +112,7 @@ type Option func(*problemConfig) error
 
 type problemConfig struct {
 	simFunc      sim.Func
+	simID        string
 	matrix       [][]float64
 	pairs        [][2]int
 	hasSchedules bool
@@ -121,6 +128,7 @@ func WithEuclideanSimilarity(d int, maxT float64) Option {
 			return fmt.Errorf("geacc: euclidean similarity needs d > 0 and maxT > 0")
 		}
 		c.simFunc = sim.Euclidean(d, maxT)
+		c.simID = fmt.Sprintf("euclidean/%d/%v", d, maxT)
 		return nil
 	}
 }
@@ -129,6 +137,7 @@ func WithEuclideanSimilarity(d int, maxT float64) Option {
 func WithCosineSimilarity() Option {
 	return func(c *problemConfig) error {
 		c.simFunc = sim.Cosine()
+		c.simID = "cosine"
 		return nil
 	}
 }
@@ -141,6 +150,7 @@ func WithSimilarityFunc(f func(a, b []float64) float64) Option {
 			return errors.New("geacc: nil similarity function")
 		}
 		c.simFunc = func(a, b sim.Vector) float64 { return f(a, b) }
+		c.simID = "" // opaque: uncacheable
 		return nil
 	}
 }
@@ -224,7 +234,7 @@ func NewProblem(events []Event, users []User, opts ...Option) (*Problem, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{in: in}, nil
+	return &Problem{in: in, simID: cfg.simID}, nil
 }
 
 // NumEvents returns |V|.
@@ -257,7 +267,17 @@ type SolveOptions struct {
 	// DecomposeWorkers bounds the component worker pool; <= 0 means
 	// GOMAXPROCS. The matching is identical for any worker count.
 	DecomposeWorkers int
+	// DisableCache skips the package's content-addressed solve memo cache
+	// for this call. The cache only ever serves results bit-identical to a
+	// fresh solve (see internal/solvecache), so disabling it is for
+	// benchmarking, not correctness.
+	DisableCache bool
 }
+
+// facadeCache memoizes Solve results across Problem values by content
+// hash: rebuilding an identical problem and solving it again is a hit.
+// Custom similarity functions are uncacheable and always solve fresh.
+var facadeCache = solvecache.New(256)
 
 // ErrBudgetExceeded reports that Exact hit its node limit; the returned
 // matching is feasible but possibly sub-optimal.
@@ -270,6 +290,32 @@ func (p *Problem) Solve(algo Algorithm) (*Matching, error) {
 
 // SolveOpts runs the chosen algorithm.
 func (p *Problem) SolveOpts(algo Algorithm, opt SolveOptions) (*Matching, error) {
+	var key solvecache.Key
+	cacheable := false
+	if !opt.DisableCache {
+		key, cacheable = solvecache.InstanceKey(p.in, solvecache.KeySpec{
+			Algo:      algo.String(),
+			Seed:      opt.Seed,
+			SimID:     p.simID,
+			Decompose: opt.Decompose,
+			Workers:   opt.DecomposeWorkers,
+			NodeLimit: opt.ExactNodeLimit,
+		})
+		if cacheable {
+			if v, ok := facadeCache.Get(key); ok {
+				return v.(*Matching).Clone(), nil
+			}
+		}
+	}
+	m, err := p.solveOpts(algo, opt)
+	if err == nil && cacheable && m != nil {
+		facadeCache.Put(key, m.Clone())
+	}
+	return m, err
+}
+
+// solveOpts is SolveOpts without the memo cache.
+func (p *Problem) solveOpts(algo Algorithm, opt SolveOptions) (*Matching, error) {
 	if opt.Decompose {
 		name := algo.String()
 		if _, err := core.LookupSolver(name); err != nil {

@@ -1,10 +1,14 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/dataset"
@@ -148,14 +152,25 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 		var best float64
 		var m *core.Matching
 		for rep := 0; rep < opt.Reps; rep++ {
-			mm, seconds, _, err := MeasureAlgo(Options{Decompose: c.decompose}, in, c.algo, opt.Seed+int64(rep))
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s: %w", c.name(), err)
+			// Microsecond-scale cases are timer-noise-dominated when
+			// sampled once, so each rep re-runs until ~20ms of measured
+			// work accumulates and keeps the fastest single run. Cases
+			// slower than that break after one iteration, unchanged.
+			var spent float64
+			for iter := 0; ; iter++ {
+				mm, seconds, _, err := MeasureAlgo(Options{Decompose: c.decompose}, in, c.algo, opt.Seed+int64(rep))
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", c.name(), err)
+				}
+				if m == nil || seconds < best {
+					best = seconds
+				}
+				m = mm
+				spent += seconds
+				if spent >= 0.02 || iter >= 49 {
+					break
+				}
 			}
-			if m == nil || seconds < best {
-				best = seconds
-			}
-			m = mm
 		}
 		shapeKey := [3]int{c.nv, c.nu, c.communities}
 		ub, ok := ubCache[shapeKey]
@@ -178,8 +193,154 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 			Gap:     gap,
 		})
 	}
+	warmPoints, err := runWarmDeltaBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, warmPoints...)
 	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
 	return points, nil
+}
+
+// warmDeltaShapes pins the dirty-component delta re-solve benchmark. Each
+// shape is one component (the whole instance) fed a forward arrival chain:
+// every step appends one user, which is exactly what a dirty-scope
+// rebalance re-solves after an arrival delta.
+var warmDeltaShapes = [][2]int{{20, 200}, {30, 400}}
+
+// warmDeltaSteps is the arrival chain's length: how many 1-user delta
+// re-solves each timed repetition runs. Every step is a real delta against
+// the cached state of the preceding step, never an identical repeat.
+const warmDeltaSteps = 8
+
+// runWarmDeltaBench pins `mcflow_warm_delta/<shape>` against its cold
+// baseline `mcflow_cold_delta/<shape>`: the same pinned arrival chain
+// solved through core.MinCostFlowWarmCtx with a warm cache (filled once,
+// untimed, per repetition) and through the cold core.MinCostFlowCtx. It
+// fails outright if any step's warm MaxSum drifts from the cold one or if
+// the warm path loses its required speedup, so `make bench-compare` gates
+// the optimization structurally, not just against last run's numbers.
+func runWarmDeltaBench(opt Options) ([]SolverBenchPoint, error) {
+	ctx := context.Background()
+	var points []SolverBenchPoint
+	for _, shape := range warmDeltaShapes {
+		nv, nu := shape[0], shape[1]
+		name := fmt.Sprintf("v%d_u%d", nv, nu)
+		cfg := dataset.DefaultSynthetic()
+		cfg.NumEvents = nv
+		cfg.NumUsers = nu
+		cfg.EventCapMax = 10
+		cfg.UserCapMax = 4
+		cfg.Seed = int64(1000*nv + nu)
+		in0, err := cfg.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("bench: generate mcflow_warm_delta/%s: %w", name, err)
+		}
+		chain, ids, err := warmDeltaChain(in0, nv, nu)
+		if err != nil {
+			return nil, fmt.Errorf("bench: mcflow_warm_delta/%s: %w", name, err)
+		}
+		events := idRange(nv)
+
+		warmBest, coldBest := math.Inf(1), math.Inf(1)
+		warmSums := make([]float64, warmDeltaSteps)
+		coldSums := make([]float64, warmDeltaSteps)
+		for rep := 0; rep < opt.Reps; rep++ {
+			wc := core.NewWarmCache(4)
+			if _, err := core.MinCostFlowWarmCtx(ctx, chain[0], events, ids[0], wc); err != nil {
+				return nil, fmt.Errorf("bench: mcflow_warm_delta/%s warm fill: %w", name, err)
+			}
+			start := time.Now()
+			for s := 1; s <= warmDeltaSteps; s++ {
+				m, err := core.MinCostFlowWarmCtx(ctx, chain[s], events, ids[s], wc)
+				if err != nil {
+					return nil, fmt.Errorf("bench: mcflow_warm_delta/%s: %w", name, err)
+				}
+				warmSums[s-1] = m.MaxSum()
+			}
+			if sec := time.Since(start).Seconds() / warmDeltaSteps; sec < warmBest {
+				warmBest = sec
+			}
+
+			start = time.Now()
+			for s := 1; s <= warmDeltaSteps; s++ {
+				res, err := core.MinCostFlowCtx(ctx, chain[s], core.FlowOptions{})
+				if err != nil {
+					return nil, fmt.Errorf("bench: mcflow_cold_delta/%s: %w", name, err)
+				}
+				coldSums[s-1] = res.Matching.MaxSum()
+			}
+			if sec := time.Since(start).Seconds() / warmDeltaSteps; sec < coldBest {
+				coldBest = sec
+			}
+		}
+		for s := range warmSums {
+			if warmSums[s] != coldSums[s] {
+				return nil, fmt.Errorf("bench: mcflow_warm_delta/%s step %d: warm MaxSum %v drifted from cold %v",
+					name, s+1, warmSums[s], coldSums[s])
+			}
+		}
+		if warmBest*1.5 > coldBest {
+			return nil, fmt.Errorf("bench: mcflow_warm_delta/%s: warm %.0fns/op is not >= 1.5x faster than cold %.0fns/op",
+				name, warmBest*1e9, coldBest*1e9)
+		}
+		final := chain[warmDeltaSteps]
+		ub := core.RelaxedUpperBound(final)
+		gap := 0.0
+		if ub > 0 {
+			if gap = (ub - warmSums[warmDeltaSteps-1]) / ub; gap < 0 {
+				gap = 0
+			}
+		}
+		points = append(points,
+			SolverBenchPoint{
+				Name: "mcflow_warm_delta/" + name,
+				NV:   nv, NU: nu + warmDeltaSteps,
+				NsPerOp: warmBest * 1e9, MaxSum: warmSums[warmDeltaSteps-1], Gap: gap,
+			},
+			SolverBenchPoint{
+				Name: "mcflow_cold_delta/" + name,
+				NV:   nv, NU: nu + warmDeltaSteps,
+				NsPerOp: coldBest * 1e9, MaxSum: coldSums[warmDeltaSteps-1], Gap: gap,
+			})
+	}
+	return points, nil
+}
+
+// warmDeltaChain builds the pinned arrival chain: chain[s] is in0 with s
+// extra users appended (seeded attrs, append-only ids — the discipline the
+// arranger itself follows), ids[s] the matching parent-id list.
+func warmDeltaChain(in0 *core.Instance, nv, nu int) ([]*core.Instance, [][]int, error) {
+	rng := rand.New(rand.NewSource(int64(nv)))
+	dim := len(in0.Users[0].Attrs)
+	chain := make([]*core.Instance, warmDeltaSteps+1)
+	ids := make([][]int, warmDeltaSteps+1)
+	chain[0] = in0
+	ids[0] = idRange(nu)
+	users := append([]core.User(nil), in0.Users...)
+	for s := 1; s <= warmDeltaSteps; s++ {
+		attrs := make([]float64, dim)
+		for i := range attrs {
+			attrs[i] = rng.Float64() * 100
+		}
+		users = append(users, core.User{Attrs: attrs, Cap: 1 + rng.Intn(4)})
+		in, err := core.NewInstance(in0.Events, append([]core.User(nil), users...), in0.Conflicts, in0.SimFunc)
+		if err != nil {
+			return nil, nil, err
+		}
+		chain[s] = in
+		ids[s] = idRange(nu + s)
+	}
+	return chain, ids, nil
+}
+
+// idRange returns [0, n) — a whole-instance component's parent-id list.
+func idRange(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 // WriteSolverBenchJSON writes the trajectory snapshot with stable ordering

@@ -21,6 +21,11 @@ var (
 	mcflowAugmentations = obs.Default().Counter("geacc_mcflow_augmentations_total")
 	mcflowDeltaUnits    = obs.Default().Counter("geacc_mcflow_delta_units_total")
 
+	mcflowWarmAttempts      = obs.Default().Counter("geacc_mcflow_warm_attempts_total")
+	mcflowWarmHits          = obs.Default().Counter("geacc_mcflow_warm_hits_total")
+	mcflowWarmRestoredUnits = obs.Default().Counter("geacc_mcflow_warm_restored_units_total")
+	mcflowWarmColdFallbacks = obs.Default().Counter("geacc_mcflow_warm_cold_fallbacks_total")
+
 	exactRuns     = obs.Default().Counter("geacc_exact_runs_total")
 	exactNodes    = obs.Default().Counter("geacc_exact_nodes_total")
 	exactPrunes   = obs.Default().Counter("geacc_exact_prunes_total")

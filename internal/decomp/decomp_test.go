@@ -251,11 +251,11 @@ func TestSolveContextCancelMidShard(t *testing.T) {
 	defer cancel()
 	var calls atomic.Int32
 	orig := solveComponentFn
-	solveComponentFn = func(ctx context.Context, algo string, sub *core.Instance, rng *rand.Rand, nodeLimit int64) (*core.Matching, error) {
+	solveComponentFn = func(ctx context.Context, algo string, c Component, compIdx int, opt Options) (*core.Matching, error) {
 		if calls.Add(1) == 1 {
 			cancel() // the client goes away while shard 0 is in flight
 		}
-		return orig(ctx, algo, sub, rng, nodeLimit)
+		return orig(ctx, algo, c, compIdx, opt)
 	}
 	defer func() { solveComponentFn = orig }()
 

@@ -1,0 +1,177 @@
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ebsnlab/geacc/internal/core"
+	"github.com/ebsnlab/geacc/internal/sim"
+	"github.com/ebsnlab/geacc/internal/solvecache"
+)
+
+// driveDelta applies the same random delta to both arrangers.
+func driveDelta(t *testing.T, rng *rand.Rand, arrs []*core.Arranger, d int, maxT float64) {
+	t.Helper()
+	switch rng.Intn(4) {
+	case 0:
+		e := core.Event{Attrs: randAttrs(rng, d, maxT), Cap: 1 + rng.Intn(3)}
+		var cf []int
+		if n := arrs[0].NumEvents(); n > 0 && rng.Intn(2) == 0 {
+			cf = []int{rng.Intn(n)}
+		}
+		for _, a := range arrs {
+			if _, err := a.AddEvent(e, cf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case 1:
+		u := core.User{Attrs: randAttrs(rng, d, maxT), Cap: 1 + rng.Intn(2)}
+		for _, a := range arrs {
+			if _, err := a.AddUser(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case 2:
+		if n := arrs[0].NumEvents(); n > 0 {
+			v := rng.Intn(n)
+			for _, a := range arrs {
+				if err := a.CancelEvent(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	case 3:
+		if n := arrs[0].NumUsers(); n > 0 {
+			u := rng.Intn(n)
+			for _, a := range arrs {
+				if err := a.RemoveUser(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func randAttrs(rng *rand.Rand, d int, maxT float64) sim.Vector {
+	v := make(sim.Vector, d)
+	for i := range v {
+		v[i] = rng.Float64() * maxT
+	}
+	return v
+}
+
+// TestRebalanceWithReuseCachesMatchesPlain drives identical delta streams
+// into two arrangers and rebalances one with the solve cache + warm flow
+// cache and the other without: every adopted arrangement must be
+// bit-identical — the caches are pure accelerators.
+func TestRebalanceWithReuseCachesMatchesPlain(t *testing.T) {
+	const d, maxT = 4, 100.0
+	for _, algo := range []string{"greedy", "mincostflow"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			f := sim.Euclidean(d, maxT)
+			plain, err := core.NewArranger(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := core.NewArranger(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrs := []*core.Arranger{plain, cached}
+			plainOpt := Options{Seed: 1}
+			cachedOpt := Options{
+				Seed:       1,
+				SolveCache: solvecache.New(64),
+				SimID:      fmt.Sprintf("euclidean/%d/%v", d, maxT),
+				WarmCache:  core.NewWarmCache(32),
+			}
+			// Seed population.
+			for i := 0; i < 30; i++ {
+				driveDelta(t, rng, arrs, d, maxT)
+			}
+			for step := 0; step < 20; step++ {
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					driveDelta(t, rng, arrs, d, maxT)
+				}
+				full := rng.Intn(4) == 0
+				// Scope "everything recently touched" conservatively: all ids.
+				allE := make([]int, plain.NumEvents())
+				for i := range allE {
+					allE[i] = i
+				}
+				allU := make([]int, plain.NumUsers())
+				for i := range allU {
+					allU[i] = i
+				}
+				rp, err := RebalanceScoped(context.Background(), plain, algo, allE, allU, full, plainOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc, err := RebalanceScoped(context.Background(), cached, algo, allE, allU, full, cachedOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rp.Gain != rc.Gain || rp.Adopted != rc.Adopted || rp.ComponentsSolved != rc.ComponentsSolved {
+					t.Fatalf("step %d: results diverge: plain %+v cached %+v", step, rp, rc)
+				}
+				mp, mc := plain.Matching().SortedPairs(), cached.Matching().SortedPairs()
+				if len(mp) != len(mc) {
+					t.Fatalf("step %d: %d pairs vs %d", step, len(mp), len(mc))
+				}
+				for i := range mp {
+					if mp[i] != mc[i] {
+						t.Fatalf("step %d: pair %d: plain %+v cached %+v", step, i, mp[i], mc[i])
+					}
+				}
+				if plain.MaxSum() != cached.MaxSum() {
+					t.Fatalf("step %d: MaxSum %v vs %v", step, plain.MaxSum(), cached.MaxSum())
+				}
+			}
+			st := cachedOpt.SolveCache.Stats()
+			if st.Hits+st.Misses == 0 {
+				t.Fatal("solve cache was never consulted")
+			}
+			if algo == "mincostflow" && cachedOpt.WarmCache.Len() == 0 {
+				t.Fatal("warm cache never captured a component state")
+			}
+		})
+	}
+}
+
+// TestRepeatedRebalanceHitsSolveCache pins the reuse scenario the cache
+// exists for: re-solving unchanged components (scope=full, no deltas in
+// between) must be served from the cache.
+func TestRepeatedRebalanceHitsSolveCache(t *testing.T) {
+	const d, maxT = 4, 100.0
+	rng := rand.New(rand.NewSource(3))
+	arr, err := core.NewArranger(sim.Euclidean(d, maxT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrs := []*core.Arranger{arr}
+	for i := 0; i < 40; i++ {
+		driveDelta(t, rng, arrs, d, maxT)
+	}
+	opt := Options{Seed: 1, SolveCache: solvecache.New(64), SimID: "euclidean/4/100"}
+	if _, err := RebalanceScoped(context.Background(), arr, "greedy", nil, nil, true, opt); err != nil {
+		t.Fatal(err)
+	}
+	before := opt.SolveCache.Stats()
+	if before.Misses == 0 {
+		t.Fatal("first full rebalance should have missed into the cache")
+	}
+	if _, err := RebalanceScoped(context.Background(), arr, "greedy", nil, nil, true, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := opt.SolveCache.Stats()
+	if after.Hits == before.Hits {
+		t.Fatal("second identical full rebalance produced no cache hits")
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("second identical full rebalance missed (%d -> %d misses)", before.Misses, after.Misses)
+	}
+}

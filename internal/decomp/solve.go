@@ -11,6 +11,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
 // Decomposition-layer observability. decomp_components_total counts
@@ -39,29 +40,83 @@ type Options struct {
 	// still feasible (each tripped component contributes its best-so-far)
 	// and core.ErrNodeLimit is returned alongside it.
 	ExactNodeLimit int64
+	// SolveCache, when non-nil, memoizes per-component matchings keyed by
+	// sub-instance content (see internal/solvecache). A hit skips the
+	// component solve entirely and returns a clone of the cached matching —
+	// bit-identical to a fresh solve by the cache's key contract.
+	SolveCache *solvecache.Cache
+	// SimID is the canonical similarity identity of the parent instance
+	// (e.g. "euclidean/4/100"), required for SolveCache keying of
+	// non-matrix instances; "" makes those components uncacheable.
+	SimID string
+	// WarmCache, when non-nil, enables warm-started min-cost flow for
+	// mincostflow components: the previous solve of the same component
+	// (keyed by its smallest parent event id) seeds flow and potentials so
+	// a small delta re-solve skips most augmentations. Results stay
+	// bit-exact vs the cold path.
+	WarmCache *core.WarmCache
 }
 
 // solveComponentFn is the per-component dispatch; tests swap it to inject
 // faults and observe scheduling.
 var solveComponentFn = solveComponent
 
-// solveComponent runs one registry solver on one shard. Everything except
-// the node-limited exact path goes through core.SolveContext, so the usual
+// deterministicAlgos ignore their seed entirely, so their cache keys can
+// drop it: an unchanged component then hits even when a delta elsewhere
+// shifted its component index (and thus its derived seed).
+var deterministicAlgos = map[string]bool{"greedy": true, "mincostflow": true, "exact": true}
+
+// solveComponent runs one registry solver on one shard, consulting the
+// optional per-instance solve cache and warm-flow cache from opt.
+// Everything except cache hits, the warm mincostflow path, and the
+// node-limited exact path goes through core.SolveContext, so the usual
 // per-algorithm solve metrics and solve/<algo> spans fire once per
 // component.
-func solveComponent(ctx context.Context, algo string, sub *core.Instance, rng *rand.Rand, nodeLimit int64) (*core.Matching, error) {
-	if algo == "exact" && nodeLimit > 0 {
-		m, _, err := core.ExactOpts(sub, core.ExactOptions{Ctx: ctx, NodeLimit: nodeLimit})
-		return m, err
+func solveComponent(ctx context.Context, algo string, c Component, compIdx int, opt Options) (*core.Matching, error) {
+	var key solvecache.Key
+	cacheable := false
+	if opt.SolveCache != nil {
+		keySeed := int64(0)
+		if !deterministicAlgos[algo] {
+			keySeed = componentSeed(opt.Seed, compIdx)
+		}
+		key, cacheable = solvecache.InstanceKey(c.Sub, solvecache.KeySpec{
+			Algo:      algo,
+			Seed:      keySeed,
+			SimID:     opt.SimID,
+			NodeLimit: opt.ExactNodeLimit,
+		})
+		if cacheable {
+			if v, ok := opt.SolveCache.Get(key); ok {
+				return v.(*core.Matching).Clone(), nil
+			}
+		}
 	}
-	return core.SolveContext(ctx, algo, sub, rng)
+	var m *core.Matching
+	var err error
+	switch {
+	case algo == "exact" && opt.ExactNodeLimit > 0:
+		m, _, err = core.ExactOpts(c.Sub, core.ExactOptions{Ctx: ctx, NodeLimit: opt.ExactNodeLimit})
+	case algo == "mincostflow" && opt.WarmCache != nil:
+		m, err = core.MinCostFlowWarmCtx(ctx, c.Sub, c.Events, c.Users, opt.WarmCache)
+	default:
+		m, err = core.SolveContext(ctx, algo, c.Sub, componentRNG(opt.Seed, compIdx))
+	}
+	if err == nil && cacheable && m != nil {
+		opt.SolveCache.Put(key, m.Clone())
+	}
+	return m, err
 }
 
-// componentRNG derives the deterministic per-component seed: a fixed odd
+// componentSeed derives the deterministic per-component seed: a fixed odd
 // multiplier spreads consecutive root seeds apart so component streams from
 // different runs do not overlap trivially.
+func componentSeed(seed int64, i int) int64 {
+	return seed*0x9E3779B1 + int64(i)
+}
+
 func componentRNG(seed int64, i int) *rand.Rand {
-	return rand.New(rand.NewSource(seed*0x9E3779B1 + int64(i)))
+	return rand.New(rand.NewSource(componentSeed(seed, i)))
 }
 
 func normalizeWorkers(workers, components int) int {
@@ -207,7 +262,7 @@ func (d *Decomposition) solveSet(ctx context.Context, algo string, ids []int, op
 					Annotate("component", i).
 					Annotate("events", len(c.Events)).
 					Annotate("users", len(c.Users))
-				m, err := solveComponentFn(ctx, algo, c.Sub, componentRNG(opt.Seed, i), opt.ExactNodeLimit)
+				m, err := solveComponentFn(ctx, algo, c, i, opt)
 				decompComponents.Inc()
 				decompComponentSize.Observe(float64(len(c.Events) + len(c.Users)))
 				results[j], errs[j] = m, err

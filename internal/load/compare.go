@@ -20,33 +20,63 @@ type ServerBenchPoint struct {
 	Concurrency int     `json:"concurrency"`
 	P99Seconds  float64 `json:"p99_seconds"`
 	AchievedRPS float64 `json:"achieved_rps"`
+	// ShedRate and AcceptedP99Seconds carry the overload axes: the fraction
+	// of requests the server refused with 429, and the p99 over accepted
+	// (2xx) answers only.
+	ShedRate           float64 `json:"shed_rate"`
+	AcceptedP99Seconds float64 `json:"accepted_p99_seconds"`
+	// Gate selects the regression criteria. "" (the latency gate) compares
+	// all-request p99 and achieved throughput. "overload" compares shed
+	// rate and accepted-request p99 instead: a deliberately saturated lane
+	// has no meaningful raw-throughput number (it is pinned by the offered
+	// rate), and its all-request p99 is dominated by near-instant 429s.
+	Gate string `json:"gate,omitempty"`
 }
 
-// Point distills a run's report into its pinnable form.
+// Point distills a run's report into its pinnable form (Gate is assigned
+// by the suite runner, not the report).
 func (rep *Report) Point() ServerBenchPoint {
 	return ServerBenchPoint{
-		Scenario:    rep.Scenario,
-		Mode:        rep.Mode,
-		Concurrency: rep.Concurrency,
-		P99Seconds:  rep.P99Seconds,
-		AchievedRPS: rep.AchievedRPS,
+		Scenario:           rep.Scenario,
+		Mode:               rep.Mode,
+		Concurrency:        rep.Concurrency,
+		P99Seconds:         rep.P99Seconds,
+		AchievedRPS:        rep.AchievedRPS,
+		ShedRate:           rep.ShedRate,
+		AcceptedP99Seconds: rep.AcceptedP99Seconds,
 	}
 }
 
 // ServerDelta compares one scenario across two snapshots.
 type ServerDelta struct {
 	Scenario string
+	Gate     string // "" (latency) or "overload"
 	OldP99   float64
 	NewP99   float64
 	P99Ratio float64 // NewP99 / OldP99; > 1 means slower
 	OldRPS   float64
 	NewRPS   float64
 	RPSRatio float64 // NewRPS / OldRPS; < 1 means less throughput
+
+	OldShedRate    float64
+	NewShedRate    float64
+	OldAcceptedP99 float64
+	NewAcceptedP99 float64
 }
 
-// Regressed reports whether the point got worse beyond tol on either axis:
-// p99 up by more than tol, or throughput down by more than tol.
+// Regressed reports whether the point got worse beyond tol on the axes its
+// gate watches. The latency gate (""): all-request p99 up by more than tol,
+// or throughput down by more than tol. The "overload" gate: shed rate up by
+// more than tol in absolute terms (shed rate is already a fraction, so a
+// relative band around e.g. 0.6 would be far looser than intended), or
+// accepted-request p99 up by more than tol — raw throughput is not gated,
+// because a saturated lane's completion rate is pinned by the offered rate.
 func (d ServerDelta) Regressed(tol float64) bool {
+	if d.Gate == "overload" {
+		moreShed := d.NewShedRate > d.OldShedRate+tol
+		slowerAccepted := d.OldAcceptedP99 > 0 && d.NewAcceptedP99 > d.OldAcceptedP99*(1+tol)
+		return moreShed || slowerAccepted
+	}
 	slower := d.OldP99 > 0 && d.NewP99 > d.OldP99*(1+tol)
 	lessRPS := d.OldRPS > 0 && d.NewRPS < d.OldRPS*(1-tol)
 	return slower || lessRPS
@@ -69,8 +99,11 @@ func CompareServerBench(old, fresh []ServerBenchPoint) (deltas []ServerDelta, on
 		}
 		d := ServerDelta{
 			Scenario: p.Scenario,
+			Gate:     p.Gate, // the fresh point's gate wins if the snapshot predates gates
 			OldP99:   o.P99Seconds, NewP99: p.P99Seconds,
 			OldRPS: o.AchievedRPS, NewRPS: p.AchievedRPS,
+			OldShedRate: o.ShedRate, NewShedRate: p.ShedRate,
+			OldAcceptedP99: o.AcceptedP99Seconds, NewAcceptedP99: p.AcceptedP99Seconds,
 		}
 		if o.P99Seconds > 0 {
 			d.P99Ratio = p.P99Seconds / o.P99Seconds
@@ -100,7 +133,7 @@ func CompareServerBench(old, fresh []ServerBenchPoint) (deltas []ServerDelta, on
 // regressed beyond tol.
 func FormatServerComparison(deltas []ServerDelta, onlyOld, onlyNew []string, tol float64) (report string, regressed []string) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %12s %12s %8s %12s %12s %8s\n",
+	fmt.Fprintf(&b, "%-22s %12s %12s %8s %12s %12s %8s\n",
 		"scenario", "old p99 s", "new p99 s", "ratio", "old req/s", "new req/s", "ratio")
 	for _, d := range deltas {
 		flag := ""
@@ -108,14 +141,19 @@ func FormatServerComparison(deltas []ServerDelta, onlyOld, onlyNew []string, tol
 			flag = "  << REGRESSION"
 			regressed = append(regressed, d.Scenario)
 		}
-		fmt.Fprintf(&b, "%-20s %12.4f %12.4f %8.2f %12.1f %12.1f %8.2f%s\n",
+		fmt.Fprintf(&b, "%-22s %12.4f %12.4f %8.2f %12.1f %12.1f %8.2f%s\n",
 			d.Scenario, d.OldP99, d.NewP99, d.P99Ratio, d.OldRPS, d.NewRPS, d.RPSRatio, flag)
+		if d.Gate == "overload" {
+			// The gated axes for an overload lane; the row above is context.
+			fmt.Fprintf(&b, "%-22s %12s shed %.1f%% -> %.1f%%  accepted-p99 %.4fs -> %.4fs\n",
+				"", "(overload)", d.OldShedRate*100, d.NewShedRate*100, d.OldAcceptedP99, d.NewAcceptedP99)
+		}
 	}
 	for _, name := range onlyOld {
-		fmt.Fprintf(&b, "%-20s only in committed snapshot\n", name)
+		fmt.Fprintf(&b, "%-22s only in committed snapshot\n", name)
 	}
 	for _, name := range onlyNew {
-		fmt.Fprintf(&b, "%-20s only in fresh run (make bench-server to pin it)\n", name)
+		fmt.Fprintf(&b, "%-22s only in fresh run (make bench-server to pin it)\n", name)
 	}
 	return b.String(), regressed
 }

@@ -82,6 +82,7 @@ func (opt *Options) normalize() error {
 // into a single horizon. Counters are atomics; the window locks internally.
 type collector struct {
 	win      *obs.Window
+	accepted *obs.Window // 2xx only: latency of the work the server accepted
 	status   [6]atomic.Int64 // indexed by statusSlot
 	requests atomic.Int64
 	dropped  atomic.Int64
@@ -93,7 +94,10 @@ type collector struct {
 const collectorSpan = time.Hour
 
 func newCollector() *collector {
-	return &collector{win: obs.NewWindow(2*collectorSpan, collectorSpan, 1<<14)}
+	return &collector{
+		win:      obs.NewWindow(2*collectorSpan, collectorSpan, 1<<14),
+		accepted: obs.NewWindow(2*collectorSpan, collectorSpan, 1<<14),
+	}
 }
 
 var statusSlots = [...]string{"2xx", "4xx", "429", "499", "5xx", "transport"}
@@ -114,6 +118,13 @@ func (c *collector) record(seconds float64, class string) {
 	c.requests.Add(1)
 	c.status[statusSlot(class)].Add(1)
 	c.win.Observe(seconds, class == "5xx" || class == "transport")
+	// The accepted-only reservoir keeps overload runs honest: under heavy
+	// shedding the all-request p99 is dominated by near-instant 429s, which
+	// would make collapse look like an improvement. Accepted latency is what
+	// the surviving clients actually experienced.
+	if class == "2xx" {
+		c.accepted.Observe(seconds, false)
+	}
 }
 
 func (c *collector) report(opt Options, measured time.Duration) *Report {
@@ -147,6 +158,10 @@ func (c *collector) report(opt Options, measured time.Duration) *Report {
 	}
 	rep.Shed = rep.Status["429"]
 	rep.Errors = rep.Status["5xx"] + rep.Status["transport"]
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	rep.AcceptedP99Seconds = c.accepted.Stats(2 * collectorSpan).P99
 	return rep
 }
 

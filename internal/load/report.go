@@ -31,6 +31,10 @@ type Report struct {
 	P50Seconds  float64 `json:"p50_seconds"`
 	P90Seconds  float64 `json:"p90_seconds"`
 	P99Seconds  float64 `json:"p99_seconds"`
+	// AcceptedP99Seconds is the p99 over 2xx answers only. Under overload
+	// the all-request quantiles are dominated by near-instant 429s; this is
+	// the latency the accepted work actually saw.
+	AcceptedP99Seconds float64 `json:"accepted_p99_seconds"`
 
 	// Status buckets completed requests: "2xx", "4xx" (excluding 429),
 	// "429", "499", "5xx", and "transport" for requests that never got a
@@ -38,6 +42,9 @@ type Report struct {
 	Status map[string]int64 `json:"status"`
 	// Shed = Status["429"]: requests the admission controller rejected.
 	Shed int64 `json:"shed"`
+	// ShedRate = Shed / Requests: the fraction of completed requests the
+	// server deliberately refused.
+	ShedRate float64 `json:"shed_rate"`
 	// Errors = 5xx + transport failures: the run's hard-failure count.
 	Errors int64 `json:"errors"`
 	// Dropped counts open-loop ticks skipped because the outstanding-
@@ -78,8 +85,8 @@ func (rep *Report) Format() string {
 	}
 	fmt.Fprintf(&b, "achieved %.1f req/s over %.1fs (%d requests)\n",
 		rep.AchievedRPS, rep.MeasureSeconds, rep.Requests)
-	fmt.Fprintf(&b, "latency p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs\n",
-		rep.P50Seconds, rep.P90Seconds, rep.P99Seconds, rep.MeanSeconds)
+	fmt.Fprintf(&b, "latency p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs accepted-p99=%.4fs\n",
+		rep.P50Seconds, rep.P90Seconds, rep.P99Seconds, rep.MeanSeconds, rep.AcceptedP99Seconds)
 	keys := make([]string, 0, len(rep.Status))
 	for k := range rep.Status {
 		keys = append(keys, k)
@@ -89,7 +96,7 @@ func (rep *Report) Format() string {
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%d", k, rep.Status[k])
 	}
-	fmt.Fprintf(&b, "  shed=%d errors=%d", rep.Shed, rep.Errors)
+	fmt.Fprintf(&b, "  shed=%d (%.1f%%) errors=%d", rep.Shed, rep.ShedRate*100, rep.Errors)
 	if rep.Dropped > 0 {
 		fmt.Fprintf(&b, " dropped=%d", rep.Dropped)
 	}

@@ -64,6 +64,10 @@ type Scenario struct {
 	Users    int     `json:"users,omitempty"`
 	CFRatio  float64 `json:"cf_ratio,omitempty"`
 	Variants int     `json:"variants,omitempty"`
+	// NoCache appends ?cache=0 to every solve, bypassing the server's memo
+	// cache — the knob that makes a cold-solve lane measure solver work
+	// instead of cache lookups.
+	NoCache bool `json:"no_cache,omitempty"`
 
 	// KindDelta fields: the instance's similarity space, the initial
 	// population each lane sets up before measurement, and the op mix.
@@ -129,6 +133,35 @@ var builtins = []Scenario{
 		Dim:         4, MaxT: 100,
 		SetupEvents: 20, SetupUsers: 100,
 		Mix: Mix{AddEvent: 2, AddUser: 6, CancelEvent: 1, CancelUser: 1, Rebalance: 2},
+	},
+	{
+		// 20x200 (not 40x400): the cold baseline below must complete enough
+		// requests per measure phase for its p99 to be a quantile rather
+		// than a max — the flow solver is quartic, so shape sets sample count.
+		Name:        "solve-repeat",
+		Description: "repeated identical min-cost-flow solves; measures the memo-cache hit path",
+		Kind:        KindSolve,
+		Algo:        "mincostflow",
+		Events:      20, Users: 200, CFRatio: 0.25,
+		Variants: 3,
+	},
+	{
+		Name:        "solve-repeat-cold",
+		Description: "the solve-repeat workload with ?cache=0; the cold baseline the hit path is gated against",
+		Kind:        KindSolve,
+		Algo:        "mincostflow",
+		Events:      20, Users: 200, CFRatio: 0.25,
+		Variants: 3,
+		NoCache:  true,
+	},
+	{
+		Name:        "overload-mincostflow",
+		Description: "open-loop min-cost-flow solves past capacity; measures shed rate and accepted latency under 429-heavy load",
+		Kind:        KindSolve,
+		Algo:        "mincostflow",
+		Events:      40, Users: 400, CFRatio: 0.25,
+		Variants: 4,
+		NoCache:  true, // cache hits would absorb the offered load; overload needs real solves
 	},
 }
 

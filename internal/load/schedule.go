@@ -56,6 +56,9 @@ func newLaneStream(sc Scenario, seed int64, lane int) (*laneStream, error) {
 // identical bodies in lockstep.
 func newSolveStream(sc Scenario, seed int64, lane int) (*laneStream, error) {
 	path := "/solve?algo=" + url.QueryEscape(sc.Algo) + "&seed=1"
+	if sc.NoCache {
+		path += "&cache=0"
+	}
 	bodies := make([][]byte, sc.Variants)
 	for v := range bodies {
 		cfg := dataset.DefaultSynthetic()

@@ -206,15 +206,20 @@ func (sv *Solver) pushAlongPath(maxUnits int64, unitCost float64) int64 {
 
 // dijkstra computes reduced-cost shortest paths from s, filling dist and
 // prev. It reports whether t is reachable.
-func (sv *Solver) dijkstra() bool {
+func (sv *Solver) dijkstra() bool { return sv.dijkstraFrom(sv.s, sv.t) }
+
+// dijkstraFrom computes reduced-cost shortest paths from src, filling dist
+// and prev. It reports whether dst is reachable. The warm-start retreat
+// phase roots it at the sink; everything else roots it at the source.
+func (sv *Solver) dijkstraFrom(src, dst int) bool {
 	g := sv.g
 	for i := range sv.dist {
 		sv.dist[i] = math.MaxFloat64
 		sv.prev[i] = -1
 	}
 	sv.heap.Reset()
-	sv.dist[sv.s] = 0
-	sv.heap.Push(sv.s, 0)
+	sv.dist[src] = 0
+	sv.heap.Push(src, 0)
 	for sv.heap.Len() > 0 {
 		v, d := sv.heap.Pop()
 		if d > sv.dist[v] {
@@ -238,7 +243,7 @@ func (sv *Solver) dijkstra() bool {
 			}
 		}
 	}
-	return sv.dist[sv.t] != math.MaxFloat64
+	return sv.dist[dst] != math.MaxFloat64
 }
 
 // AugmentBelow is like Augment but pushes only when the shortest augmenting

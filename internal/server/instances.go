@@ -17,7 +17,20 @@ import (
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 	"github.com/ebsnlab/geacc/internal/store"
+)
+
+// DefaultSolveCacheEntries bounds the shared /solve memo cache when
+// Config.SolveCacheEntries is zero.
+const DefaultSolveCacheEntries = 512
+
+// Per-instance reuse caches are smaller than the shared /solve cache: an
+// instance's rebalance working set is its own components, not the whole
+// request mix.
+const (
+	instanceSolveCacheEntries = 128
+	instanceWarmCacheEntries  = 64
 )
 
 // DefaultSnapshotEvery is how many logged ops an instance accumulates before
@@ -48,6 +61,12 @@ type service struct {
 	snapshotEvery int
 	adm           *admission
 	admitHold     chan struct{} // test hook; see Config.admitHold
+
+	// solveCache memoizes stateless /solve responses by content hash; nil
+	// when Config.SolveCacheEntries is negative. cacheEnabled additionally
+	// gates the per-instance rebalance caches minted at instance creation.
+	solveCache   *solvecache.Cache
+	cacheEnabled bool
 
 	// ready flips true once startup replay has finished; the instance
 	// endpoints and /readyz gate on it. replayErr holds the failure message
@@ -85,6 +104,19 @@ type instance struct {
 	// last. Both serve GET /instances/{id}/stats.
 	opCounts   map[string]int64
 	rebalances []RebalanceOutcome
+
+	// Rebalance reuse caches, nil when the service disabled caching. scache
+	// memoizes per-component matchings by content hash; warm keeps the last
+	// min-cost-flow state per component for warm-started re-solves.
+	scache *solvecache.Cache
+	warm   *core.WarmCache
+}
+
+// simID is the canonical similarity identity used for solve-cache keying
+// ("kind/dim/maxT"); instances always have a function similarity, so it is
+// always defined.
+func (inst *instance) simID() string {
+	return fmt.Sprintf("%s/%d/%v", inst.meta.Sim, inst.meta.Dim, inst.meta.MaxT)
 }
 
 // recordRebalance appends one outcome to the bounded ring; callers hold
@@ -107,11 +139,17 @@ func newService(log *slog.Logger, cfg Config) (*service, error) {
 	if snapshotEvery <= 0 {
 		snapshotEvery = DefaultSnapshotEvery
 	}
+	cacheEntries := cfg.SolveCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = DefaultSolveCacheEntries
+	}
 	s := &service{
 		log:           log,
 		snapshotEvery: snapshotEvery,
 		adm:           newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueTimeout),
 		admitHold:     cfg.admitHold,
+		solveCache:    solvecache.New(cacheEntries), // nil when negative
+		cacheEnabled:  cacheEntries > 0,
 		instances:     make(map[string]*instance),
 		httpWindows:   make(map[string]*obs.Window),
 		solveWindows:  make(map[string]*obs.Window),
@@ -171,6 +209,7 @@ func (s *service) replayAll(ids []string, hold chan struct{}) error {
 		if inst.opCounts == nil {
 			inst.opCounts = make(map[string]int64)
 		}
+		s.mintInstanceCaches(inst)
 		s.mu.Lock()
 		s.instances[id] = inst
 		s.mu.Unlock()
@@ -182,6 +221,17 @@ func (s *service) replayAll(ids []string, hold chan struct{}) error {
 			"seconds", time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// mintInstanceCaches attaches the rebalance reuse caches to a fresh or
+// replayed instance; a replayed instance's caches simply start cold (replay
+// never runs a solver, so there is nothing to invalidate).
+func (s *service) mintInstanceCaches(inst *instance) {
+	if !s.cacheEnabled {
+		return
+	}
+	inst.scache = solvecache.New(instanceSolveCacheEntries)
+	inst.warm = core.NewWarmCache(instanceWarmCacheEntries)
 }
 
 func toSet(ids []int) map[int]bool {
@@ -354,6 +404,7 @@ func (s *service) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 		dirtyU:   make(map[int]bool),
 		opCounts: make(map[string]int64),
 	}
+	s.mintInstanceCaches(inst)
 	s.instances[meta.ID] = inst
 	instancesActive.Add(1)
 	requestLogger(r).Info("instance created", "id", meta.ID, "sim", meta.Sim)
@@ -725,10 +776,19 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		}
 		opt.Seed = n
 	}
+	// The reuse caches ride along unless the request opts out; both are
+	// pure accelerators (bit-exact vs a cold solve), so ?cache=0 exists for
+	// benchmarking, not correctness.
+	if inst.scache != nil && !cacheBypassed(r) {
+		opt.SolveCache = inst.scache
+		opt.SimID = inst.simID()
+		opt.WarmCache = inst.warm
+	}
 
 	start := time.Now()
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
+	cacheBefore := inst.scache.Stats()
 	prev := inst.arr.Matching()
 	res, err := decomp.RebalanceScoped(r.Context(), inst.arr, algo,
 		sortedSet(inst.dirtyE), sortedSet(inst.dirtyU), scope == "full", opt)
@@ -768,6 +828,7 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 
 	elapsed := time.Since(start).Seconds()
 	s.solveWindow(algo).Observe(elapsed, false)
+	cacheAfter := inst.scache.Stats()
 	inst.recordRebalance(RebalanceOutcome{
 		Time:             time.Now().UTC(),
 		RequestID:        obs.RequestIDFrom(r.Context()),
@@ -778,11 +839,15 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		Gain:             res.Gain,
 		Adopted:          res.Adopted,
 		Seconds:          elapsed,
+		CacheHits:        cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:      cacheAfter.Misses - cacheBefore.Misses,
 	})
 	requestLogger(r).Info("rebalance",
 		"id", inst.meta.ID, "scope", scope, "algo", algo,
 		"components_solved", res.ComponentsSolved, "components_total", res.ComponentsTotal,
-		"gain", res.Gain, "adopted", res.Adopted, "seconds", elapsed)
+		"gain", res.Gain, "adopted", res.Adopted, "seconds", elapsed,
+		"cache_hits", cacheAfter.Hits-cacheBefore.Hits,
+		"cache_misses", cacheAfter.Misses-cacheBefore.Misses)
 	writeJSON(w, RebalanceResponse{
 		RebalanceResult: res,
 		Scope:           scope,

@@ -20,6 +20,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
 	"github.com/ebsnlab/geacc/internal/report"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
 // MaxRequestBytes bounds request bodies; larger instances should use the
@@ -67,6 +68,11 @@ type Config struct {
 	// QueueTimeout is the longest a queued solver request waits before it
 	// is shed; <= 0 means DefaultQueueTimeout.
 	QueueTimeout time.Duration
+	// SolveCacheEntries bounds the content-addressed /solve memo cache
+	// (see internal/solvecache): 0 means DefaultSolveCacheEntries, negative
+	// disables solve caching service-wide (including the per-instance
+	// rebalance caches). Requests can opt out individually with ?cache=0.
+	SolveCacheEntries int
 
 	// replayHold, when non-nil with LazyReplay, blocks the background
 	// replay until the channel is closed — a test hook for observing the
@@ -251,13 +257,34 @@ func boolParam(r *http.Request, name string) bool {
 	return false
 }
 
+// cacheBypassed reports whether the request opted out of the solve cache
+// with ?cache=0 (also "false"/"no"). The cache is opt-out rather than
+// opt-in because hits are bit-for-bit identical to fresh solves.
+func cacheBypassed(r *http.Request) bool {
+	switch r.URL.Query().Get("cache") {
+	case "0", "false", "no":
+		return true
+	}
+	return false
+}
+
+// solveSimID canonicalizes a decoded instance's similarity identity for
+// cache keying. Matrix instances return "" — their values are hashed
+// directly from the content, so the key needs no identity.
+func solveSimID(info encoding.SimInfo) string {
+	if info.Kind == encoding.SimMatrix {
+		return ""
+	}
+	return fmt.Sprintf("%s/%d/%v", info.Kind, info.Dim, info.MaxT)
+}
+
 func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	in, err := encoding.DecodeInstance(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	in, simInfo, err := encoding.DecodeInstanceMeta(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -296,6 +323,33 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if _, lerr := core.LookupSolver(algo); lerr != nil {
 			writeError(w, r, http.StatusBadRequest, lerr)
 			return
+		}
+	}
+
+	// Content-addressed memoization: a hit serves the stored response —
+	// matching, diagnostics, even the original solve's timing — verbatim,
+	// which is by construction bit-for-bit what a fresh solve of the same
+	// content would produce. Hits happen before the solve window mints an
+	// observation (nothing was solved). The portfolio is excluded: its
+	// winner depends on a wall-clock race, not only on content.
+	var cacheKey solvecache.Key
+	cacheUsable := false
+	if s.solveCache != nil && algo != "portfolio" && !cacheBypassed(r) {
+		cacheKey, cacheUsable = solvecache.InstanceKey(in, solvecache.KeySpec{
+			Algo:      algo,
+			Seed:      seed,
+			SimID:     solveSimID(simInfo),
+			Decompose: decompose,
+			Workers:   workers,
+			Diag:      diag,
+		})
+		if cacheUsable {
+			if v, ok := s.solveCache.Get(cacheKey); ok {
+				requestLogger(r).Info("solve cache hit",
+					"algo", algo, "events", in.NumEvents(), "users", in.NumUsers())
+				writeJSON(w, v.(SolveResponse))
+				return
+			}
 		}
 	}
 
@@ -401,14 +455,18 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, SolveResponse{
+	resp := SolveResponse{
 		Matching:    mj,
 		Algo:        algo,
 		Seconds:     elapsed,
 		Events:      in.NumEvents(),
 		Users:       in.NumUsers(),
 		Diagnostics: d,
-	})
+	}
+	if cacheUsable {
+		s.solveCache.Put(cacheKey, resp)
+	}
+	writeJSON(w, resp)
 }
 
 // TraceResponse is the /trace payload: the greedy arrangement plus every

@@ -6,6 +6,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
 // RebalanceOutcome is one completed rebalance as remembered by the
@@ -22,6 +23,11 @@ type RebalanceOutcome struct {
 	Gain             float64   `json:"gain"`
 	Adopted          bool      `json:"adopted"`
 	Seconds          float64   `json:"seconds"`
+	// CacheHits/CacheMisses count this rebalance's per-component solve-cache
+	// lookups (zero when the request opted out with ?cache=0 or the service
+	// disabled caching).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 }
 
 // InstanceStats is the GET /instances/{id}/stats payload: the operational
@@ -61,6 +67,14 @@ type InstanceStats struct {
 
 	OpCounts         map[string]int64   `json:"op_counts"`
 	RecentRebalances []RebalanceOutcome `json:"recent_rebalances"`
+
+	// SolveCache is the instance's rebalance solve-cache counters over its
+	// lifetime (this process; caches start cold after a restart). Nil when
+	// the service disabled caching.
+	SolveCache *solvecache.Stats `json:"solve_cache,omitempty"`
+	// WarmFlowEntries counts the min-cost-flow component states held for
+	// warm-started re-solves.
+	WarmFlowEntries int `json:"warm_flow_entries,omitempty"`
 }
 
 // handleInstanceStats answers GET /instances/{id}/stats. It holds the
@@ -91,6 +105,11 @@ func (s *service) handleInstanceStats(w http.ResponseWriter, r *http.Request) {
 		st.OpCounts[k] = v
 	}
 	st.RecentRebalances = append([]RebalanceOutcome{}, inst.rebalances...)
+	if inst.scache != nil {
+		cs := inst.scache.Stats()
+		st.SolveCache = &cs
+		st.WarmFlowEntries = inst.warm.Len()
+	}
 
 	if inst.wal != nil {
 		st.Persistent = true

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/buildinfo"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
 // httpWindow returns the rolling SLO window for one bounded endpoint label
@@ -87,6 +88,11 @@ type StatuszResponse struct {
 	// maps solver algorithm names, to their 1m/5m/15m window summaries.
 	Endpoints map[string]map[string]obs.WindowStats `json:"endpoints"`
 	Solvers   map[string]map[string]obs.WindowStats `json:"solvers"`
+
+	// SolveCache is the shared /solve memo cache's hit/miss/eviction
+	// counters; omitted when the service was configured with caching
+	// disabled.
+	SolveCache *solvecache.Stats `json:"solve_cache,omitempty"`
 }
 
 // handleStatusz answers GET /statusz.
@@ -107,6 +113,11 @@ func (s *service) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	active := int64(len(s.instances))
 	s.mu.RUnlock()
+	var cacheStats *solvecache.Stats
+	if s.solveCache != nil {
+		cs := s.solveCache.Stats()
+		cacheStats = &cs
+	}
 	writeJSON(w, StatuszResponse{
 		Service:         "geacc-server",
 		Build:           buildinfo.Get(),
@@ -120,6 +131,7 @@ func (s *service) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		NumGC:           ms.NumGC,
 		Endpoints:       windowStats(httpW),
 		Solvers:         windowStats(solveW),
+		SolveCache:      cacheStats,
 	})
 }
 

@@ -65,4 +65,12 @@ done
 echo "== server survived; checking it is still ready"
 curl -fsS "$BASE/readyz" >/dev/null || fail "server not ready after load"
 
+# solve-greedy cycles a small pool of identical bodies with the solve cache
+# on (the default), so a healthy run must have produced memo hits.
+echo "== checking the solve cache saw hits"
+HITS="$(curl -fsS "$BASE/metrics" | awk '$1 == "geacc_solve_cache_hits_total" {print $2}')"
+[ -n "$HITS" ] || fail "/metrics does not export geacc_solve_cache_hits_total"
+[ "$HITS" -gt 0 ] || fail "solve cache saw zero hits under a repeating workload"
+echo "   geacc_solve_cache_hits_total=${HITS}"
+
 echo "PASS: load smoke"
