@@ -12,7 +12,9 @@
 //
 // The clustered kind produces multi-community instances (cross-community
 // similarity exactly 0, conflicts intra-community) — the workload shape for
-// geacc-solve -decompose.
+// geacc-solve -decompose. With -bridge-frac > 0 a sparse set of bridge
+// users ring-connects the communities into one giant component — the
+// workload shape for geacc-solve -approx-shard.
 package main
 
 import (
@@ -48,6 +50,8 @@ func run(args []string, stdout io.Writer) error {
 	city := fs.String("city", "auckland", "meetup city: vancouver, auckland, singapore")
 	communities := fs.Int("communities", 8, "number of attribute clusters k (clustered)")
 	blockDim := fs.Int("block-dim", 8, "per-cluster attribute block width (clustered)")
+	bridgeFrac := fs.Float64("bridge-frac", 0,
+		"fraction of users bridging to the next cluster; >0 ring-connects the clusters into one giant component (clustered)")
 	seed := fs.Int64("seed", 1, "random seed")
 	outPath := fs.String("out", "", "write the instance here instead of stdout")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -106,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.NumUsers = *users
 		cfg.Communities = *communities
 		cfg.BlockDim = *blockDim
+		cfg.BridgeFrac = *bridgeFrac
 		cfg.EventCapMax = *maxCv
 		cfg.UserCapMax = *maxCu
 		cfg.CFRatio = *cf

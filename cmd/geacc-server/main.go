@@ -51,6 +51,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/buildinfo"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/server"
 )
 
@@ -72,6 +73,14 @@ func main() {
 		"longest a queued solver request waits before it is shed with 429")
 	solveCacheEntries := flag.Int("solve-cache-entries", server.DefaultSolveCacheEntries,
 		"entries in the content-addressed /solve memo cache (negative disables caching; per-request opt-out via ?cache=0)")
+	approxShard := flag.Bool("approx-shard", false,
+		"approximate-shard giant components by default on /solve and rebalances (per-request opt-out via ?approx_shard=0)")
+	shardMaxArea := flag.Int64("shard-max-area", partition.DefaultMaxArea,
+		"with -approx-shard, shard components whose |V|·|U| exceeds this area")
+	shardStrategy := flag.String("shard-strategy", "",
+		"with -approx-shard, split heuristic: modularity (default) or bfs")
+	shardDriftBudget := flag.Float64("shard-drift-budget", partition.DefaultDriftBudget,
+		"with -approx-shard, max tolerated drift estimate before monolithic fallback")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
@@ -84,6 +93,21 @@ func main() {
 	if err != nil {
 		obs.MustLogger(os.Stderr).Error("bad logging flags", "error", err)
 		os.Exit(2)
+	}
+
+	var shard *partition.Options
+	if *approxShard {
+		strat, err := partition.ParseStrategy(*shardStrategy)
+		if err != nil {
+			logger.Error("bad shard flags", "error", err)
+			os.Exit(2)
+		}
+		sh := partition.Options{
+			MaxArea:     *shardMaxArea,
+			Strategy:    strat,
+			DriftBudget: *shardDriftBudget,
+		}.Normalized()
+		shard = &sh
 	}
 
 	// Replay runs lazily: the listener comes up immediately and /readyz
@@ -100,6 +124,7 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 
 		SolveCacheEntries: *solveCacheEntries,
+		Shard:             shard,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)

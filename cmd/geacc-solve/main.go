@@ -8,6 +8,7 @@
 //	geacc-solve -in instance.json -algo mincostflow -format csv -out matching.csv
 //	geacc-solve -in instance.json -algo exact -diag -trace-out trace.json
 //	geacc-solve -in clustered.json -algo greedy -decompose
+//	geacc-solve -in bridged.json -algo mincostflow -approx-shard -shard-max-area 5000
 //	geacc-solve -replay ./data/prod            # rebuild a server instance offline
 //
 // The output (JSON by default, CSV with -format csv) lists each assigned
@@ -34,6 +35,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/report"
 	"github.com/ebsnlab/geacc/internal/store"
 )
@@ -58,6 +60,14 @@ func run(args []string, stdout io.Writer) error {
 	index := fs.String("index", "", "greedy NN index: chunked (default), sorted, kdtree, idistance, vafile, parallel, lsh")
 	decompose := fs.Bool("decompose", false, "shard along conflict/similarity components and solve them in parallel")
 	decompWorkers := fs.Int("decompose-workers", 0, "with -decompose, component worker pool size (0 = GOMAXPROCS)")
+	approxShard := fs.Bool("approx-shard", false,
+		"split oversized components into balanced sub-shards with a bounded-drift merge (implies -decompose)")
+	shardMaxArea := fs.Int64("shard-max-area", partition.DefaultMaxArea,
+		"with -approx-shard, shard components whose |V|·|U| exceeds this area")
+	shardStrategy := fs.String("shard-strategy", "",
+		"with -approx-shard, split heuristic: modularity (default) or bfs")
+	shardDriftBudget := fs.Float64("shard-drift-budget", partition.DefaultDriftBudget,
+		"with -approx-shard, max tolerated MaxSum drift estimate before falling back to the monolithic solve")
 	quiet := fs.Bool("quiet", false, "suppress the summary log line")
 	showReport := fs.Bool("report", false, "print an arrangement quality report to stderr")
 	skipBound := fs.Bool("no-bound", false, "with -report, skip the relaxation upper bound (faster)")
@@ -91,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	if *diagOut != "" {
 		*diag = true
 	}
+	if *approxShard {
+		*decompose = true // sharding rides on the decomposition worker pool
+	}
 	if *decompose && *algo == "portfolio" {
 		return fmt.Errorf("-decompose does not compose with -algo portfolio (the portfolio already parallelizes)")
 	}
@@ -121,13 +134,31 @@ func run(args []string, stdout io.Writer) error {
 
 	var m *core.Matching
 	var decompStats *core.DecompositionStats
+	var partStats *core.PartitionStats
 	start := time.Now()
 	if *decompose {
-		m, decompStats, err = decomp.SolveContext(ctx, *algo, in,
-			decomp.Options{Workers: *decompWorkers, Seed: *seed})
-		if err != nil {
+		dopt := decomp.Options{Workers: *decompWorkers, Seed: *seed}
+		if *approxShard {
+			strat, err := partition.ParseStrategy(*shardStrategy)
+			if err != nil {
+				return err
+			}
+			sh := partition.Options{
+				MaxArea:     *shardMaxArea,
+				Strategy:    strat,
+				DriftBudget: *shardDriftBudget,
+			}.Normalized()
+			dopt.Shard = &sh
+		}
+		d, derr := decomp.DecomposeContext(ctx, in)
+		if derr != nil {
+			return derr
+		}
+		if m, err = d.SolveContext(ctx, *algo, dopt); err != nil {
 			return err
 		}
+		decompStats = d.Stats(dopt.Workers)
+		partStats = d.PartitionStats()
 	} else if *algo == "portfolio" {
 		// Race the practical solvers concurrently and keep the best.
 		best, _, err := core.PortfolioCtx(ctx, in,
@@ -160,6 +191,12 @@ func run(args []string, stdout io.Writer) error {
 		diagDoc = core.BuildDiagnostics(*algo, in, m, elapsed, rec.Spans(),
 			obs.DiffCounters(countersBefore, obs.Default().Counters()))
 		diagDoc.Decomposition = decompStats
+		if partStats != nil {
+			// BoundLoss is the measured loss vs the unsharded Corollary 1
+			// relaxation bound — exactly the diagnostics gap of this run.
+			partStats.BoundLoss = diagDoc.Gap
+			diagDoc.Partition = partStats
+		}
 	}
 	if *sessionPath != "" {
 		sf, err := os.Create(*sessionPath)
@@ -209,6 +246,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if decompStats != nil {
 			attrs = append(attrs, "components", decompStats.Components)
+		}
+		if partStats != nil {
+			attrs = append(attrs, "shards", partStats.Shards,
+				"shard_fallbacks", partStats.Fallbacks,
+				"max_drift_estimate", partStats.MaxDriftEstimate)
 		}
 		if diagDoc != nil {
 			attrs = append(attrs, "gap", diagDoc.Gap,

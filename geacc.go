@@ -42,6 +42,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/conflict"
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/sim"
 	"github.com/ebsnlab/geacc/internal/solvecache"
 )
@@ -272,6 +273,26 @@ type SolveOptions struct {
 	// fresh solve (see internal/solvecache), so disabling it is for
 	// benchmarking, not correctness.
 	DisableCache bool
+	// ApproxShard, when non-nil, enables approximate sharding of oversized
+	// components (implies Decompose): components whose |V|·|U| exceeds
+	// MaxArea split into balanced sub-shards with a bounded-drift merge
+	// (see internal/partition). Off (nil), results are bit-identical to
+	// the plain solve.
+	ApproxShard *ApproxShardOptions
+}
+
+// ApproxShardOptions tunes the approximate sharding of giant components.
+// Zero fields take the internal/partition defaults.
+type ApproxShardOptions struct {
+	// MaxArea is the per-shard |V|·|U| target and the threshold above
+	// which a component is sharded at all; <= 0 means the default (20000).
+	MaxArea int64
+	// Strategy is "modularity" (default) or "bfs".
+	Strategy string
+	// DriftBudget is the hard cap on the bounded relative MaxSum loss per
+	// sharded component; a breach falls back to the monolithic component
+	// solve. <= 0 means the default (0.01).
+	DriftBudget float64
 }
 
 // facadeCache memoizes Solve results across Problem values by content
@@ -293,14 +314,25 @@ func (p *Problem) SolveOpts(algo Algorithm, opt SolveOptions) (*Matching, error)
 	var key solvecache.Key
 	cacheable := false
 	if !opt.DisableCache {
-		key, cacheable = solvecache.InstanceKey(p.in, solvecache.KeySpec{
+		spec := solvecache.KeySpec{
 			Algo:      algo.String(),
 			Seed:      opt.Seed,
 			SimID:     p.simID,
 			Decompose: opt.Decompose,
 			Workers:   opt.DecomposeWorkers,
 			NodeLimit: opt.ExactNodeLimit,
-		})
+		}
+		if as := opt.ApproxShard; as != nil {
+			// Sharded merges differ from plain decomposed solves, and every
+			// knob changes the split — all of it keys.
+			sh := shardOptions(*as)
+			spec.Decompose = true
+			spec.ApproxShard = true
+			spec.ShardMaxArea = sh.MaxArea
+			spec.ShardStrategy = string(sh.Strategy)
+			spec.ShardDriftBudget = sh.DriftBudget
+		}
+		key, cacheable = solvecache.InstanceKey(p.in, spec)
 		if cacheable {
 			if v, ok := facadeCache.Get(key); ok {
 				return v.(*Matching).Clone(), nil
@@ -314,18 +346,36 @@ func (p *Problem) SolveOpts(algo Algorithm, opt SolveOptions) (*Matching, error)
 	return m, err
 }
 
+// shardOptions maps the facade's ApproxShardOptions onto the partition
+// layer's option struct, normalizing defaults.
+func shardOptions(as ApproxShardOptions) partition.Options {
+	return partition.Options{
+		MaxArea:     as.MaxArea,
+		Strategy:    partition.Strategy(as.Strategy),
+		DriftBudget: as.DriftBudget,
+	}.Normalized()
+}
+
 // solveOpts is SolveOpts without the memo cache.
 func (p *Problem) solveOpts(algo Algorithm, opt SolveOptions) (*Matching, error) {
-	if opt.Decompose {
+	if opt.Decompose || opt.ApproxShard != nil {
 		name := algo.String()
 		if _, err := core.LookupSolver(name); err != nil {
 			return nil, fmt.Errorf("geacc: unknown algorithm %d", int(algo))
 		}
-		m, _, err := decomp.SolveContext(context.Background(), name, p.in, decomp.Options{
+		dopt := decomp.Options{
 			Workers:        opt.DecomposeWorkers,
 			Seed:           opt.Seed,
 			ExactNodeLimit: opt.ExactNodeLimit,
-		})
+		}
+		if as := opt.ApproxShard; as != nil {
+			sh := shardOptions(*as)
+			if _, err := partition.ParseStrategy(as.Strategy); err != nil {
+				return nil, err
+			}
+			dopt.Shard = &sh
+		}
+		m, _, err := decomp.SolveContext(context.Background(), name, p.in, dopt)
 		return m, err
 	}
 	switch algo {

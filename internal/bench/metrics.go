@@ -13,6 +13,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/decomp"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/stats"
 )
 
@@ -54,6 +55,10 @@ type Options struct {
 	// DecompWorkers bounds the component pool under Decompose; <= 0 means
 	// GOMAXPROCS.
 	DecompWorkers int
+	// Shard, when non-nil, additionally routes oversized components through
+	// internal/partition's approximate sharding (geacc-bench -approx-shard);
+	// implies the decomposed path.
+	Shard *partition.Options
 }
 
 // withDefaults normalizes an Options value.
@@ -93,10 +98,10 @@ func Measure(in *core.Instance, solve core.Solver, seed int64) (*core.Matching, 
 // experiments call this so `geacc-bench -decompose` re-runs any sweep in
 // decomposed form.
 func MeasureAlgo(opt Options, in *core.Instance, algo string, seed int64) (*core.Matching, float64, float64, error) {
-	if opt.Decompose {
+	if opt.Decompose || opt.Shard != nil {
 		return measureErr(in, func(in *core.Instance, rng *rand.Rand) (*core.Matching, error) {
 			m, _, err := decomp.SolveContext(context.Background(), algo, in,
-				decomp.Options{Workers: opt.DecompWorkers, Seed: rng.Int63()})
+				decomp.Options{Workers: opt.DecompWorkers, Seed: rng.Int63(), Shard: opt.Shard})
 			return m, err
 		}, seed)
 	}

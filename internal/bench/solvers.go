@@ -12,6 +12,8 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/dataset"
+	"github.com/ebsnlab/geacc/internal/decomp"
+	"github.com/ebsnlab/geacc/internal/partition"
 )
 
 // SolverBenchPoint is one entry of BENCH_solvers.json, the repo's perf
@@ -27,6 +29,9 @@ type SolverBenchPoint struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	MaxSum  float64 `json:"maxsum"`
 	Gap     float64 `json:"gap"`
+	// Drift is the measured MaxSum loss of an approximately sharded solve
+	// relative to its monolithic counterpart (partition_sharded points only).
+	Drift float64 `json:"drift,omitempty"`
 }
 
 // solverBenchCase pins one benchmark instance: the generator seed and
@@ -198,6 +203,11 @@ func RunSolverBench(opt Options) ([]SolverBenchPoint, error) {
 		return nil, err
 	}
 	points = append(points, warmPoints...)
+	partPoints, err := runPartitionBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, partPoints...)
 	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
 	return points, nil
 }
@@ -305,6 +315,113 @@ func runWarmDeltaBench(opt Options) ([]SolverBenchPoint, error) {
 			})
 	}
 	return points, nil
+}
+
+// partitionBench pins the approximate-sharding benchmark workload: the
+// dense clustered v100_u2000_c16 shape with a 5% bridge-user fraction, so
+// the sixteen communities chain into ONE giant similarity component and the
+// decomposition layer alone cannot split it.
+const (
+	partitionBenchBridgeFrac = 0.05
+	partitionBenchMaxArea    = 20000
+	partitionBenchSpeedup    = 5.0
+)
+
+// runPartitionBench pins `partition_sharded/<shape>` against its monolithic
+// baseline `partition_mono/<shape>`: the same bridged giant-component
+// instance solved through internal/decomp whole (one component, one
+// monolithic min-cost flow) and with Options.Shard routing it through
+// internal/partition. It fails outright if the bridge workload does not
+// actually form one giant component, if the measured MaxSum drift exceeds
+// the default drift budget, or if sharding loses its required speedup — so
+// `make bench-json` gates the optimization structurally, not just against
+// last run's numbers.
+func runPartitionBench(opt Options) ([]SolverBenchPoint, error) {
+	if !opt.LargeShapes {
+		return nil, nil
+	}
+	ctx := context.Background()
+	nv, nu := 100, 2000
+	name := fmt.Sprintf("v%d_u%d_c16", nv, nu)
+	cfg := dataset.DefaultClustered()
+	cfg.NumEvents = nv
+	cfg.NumUsers = nu
+	cfg.Communities = 16
+	cfg.EventCapMax = 10
+	cfg.UserCapMax = 4
+	cfg.BridgeFrac = partitionBenchBridgeFrac
+	cfg.Seed = int64(1000*nv + nu)
+	in, err := cfg.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate partition/%s: %w", name, err)
+	}
+	d, err := decomp.DecomposeContext(ctx, in)
+	if err != nil {
+		return nil, fmt.Errorf("bench: partition/%s: %w", name, err)
+	}
+	if got := len(d.Components); got != 1 {
+		return nil, fmt.Errorf("bench: partition/%s: bridged workload split into %d components, want one giant component",
+			name, got)
+	}
+
+	shard := partition.Options{MaxArea: partitionBenchMaxArea}.Normalized()
+	monoBest, shardBest := math.Inf(1), math.Inf(1)
+	var monoSum, shardSum float64
+	for rep := 0; rep < opt.Reps; rep++ {
+		m, sec, _, err := MeasureAlgo(Options{Decompose: true}, in, "mincostflow", opt.Seed+int64(rep))
+		if err != nil {
+			return nil, fmt.Errorf("bench: partition_mono/%s: %w", name, err)
+		}
+		if sec < monoBest {
+			monoBest = sec
+		}
+		monoSum = m.MaxSum()
+
+		m, sec, _, err = MeasureAlgo(Options{Shard: &shard}, in, "mincostflow", opt.Seed+int64(rep))
+		if err != nil {
+			return nil, fmt.Errorf("bench: partition_sharded/%s: %w", name, err)
+		}
+		if sec < shardBest {
+			shardBest = sec
+		}
+		shardSum = m.MaxSum()
+	}
+	drift := 0.0
+	if monoSum > 0 {
+		if drift = (monoSum - shardSum) / monoSum; drift < 0 {
+			drift = 0
+		}
+	}
+	if drift > shard.DriftBudget {
+		return nil, fmt.Errorf("bench: partition_sharded/%s: measured drift %.4f exceeds the %.4f budget (mono %.3f vs sharded %.3f)",
+			name, drift, shard.DriftBudget, monoSum, shardSum)
+	}
+	if shardBest*partitionBenchSpeedup > monoBest {
+		return nil, fmt.Errorf("bench: partition_sharded/%s: sharded %.0fms/op is not >= %.0fx faster than monolithic %.0fms/op",
+			name, shardBest*1e3, partitionBenchSpeedup, monoBest*1e3)
+	}
+	ub := core.RelaxedUpperBound(in)
+	gapOf := func(sum float64) float64 {
+		if ub <= 0 {
+			return 0
+		}
+		if g := (ub - sum) / ub; g > 0 {
+			return g
+		}
+		return 0
+	}
+	return []SolverBenchPoint{
+		{
+			Name: "partition_mono/" + name,
+			NV:   nv, NU: nu,
+			NsPerOp: monoBest * 1e9, MaxSum: monoSum, Gap: gapOf(monoSum),
+		},
+		{
+			Name: "partition_sharded/" + name,
+			NV:   nv, NU: nu,
+			NsPerOp: shardBest * 1e9, MaxSum: shardSum, Gap: gapOf(shardSum), Drift: drift,
+		},
+	}, nil
 }
 
 // warmDeltaChain builds the pinned arrival chain: chain[s] is in0 with s

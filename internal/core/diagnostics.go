@@ -52,6 +52,58 @@ type Diagnostics struct {
 	// connected-component decomposition layer (internal/decomp): how the
 	// instance sharded and how the component pool was sized.
 	Decomposition *DecompositionStats `json:"decomposition,omitempty"`
+
+	// Partition is present only when approximate sharding ran
+	// (internal/partition): how oversized components split, what the cut
+	// cost was, and the measured loss vs the unsharded Corollary 1 bound.
+	Partition *PartitionStats `json:"partition,omitempty"`
+
+	// ExactGate is present for exact solves that passed through an area
+	// gate (the server's HTTP budget): the area the decision saw and
+	// whether the request was refused.
+	ExactGate *ExactGateStats `json:"exact_gate,omitempty"`
+}
+
+// PartitionStats aggregates the approximate-sharding layer across the
+// components of one solve. Filled by internal/decomp when Options.Shard is
+// set and at least one component exceeded the area threshold.
+type PartitionStats struct {
+	// Runs counts components routed through partitioning; Shards is the
+	// total sub-shard count across them.
+	Runs   int `json:"runs"`
+	Shards int `json:"shards"`
+	// Fallbacks counts components whose drift estimate breached the hard
+	// budget and were re-solved monolithically (their drift is zero).
+	Fallbacks int `json:"fallbacks,omitempty"`
+	// CutPairs / CutConflicts count positive-similarity pairs and CF edges
+	// crossing shard boundaries (the latter can never bind in the merge).
+	CutPairs     int `json:"cut_pairs"`
+	CutConflicts int `json:"cut_conflicts,omitempty"`
+	// RepairMoves / RepairGain summarize the boundary repair pass.
+	RepairMoves int     `json:"repair_moves"`
+	RepairGain  float64 `json:"repair_gain"`
+	// MaxDriftEstimate is the largest per-component bounded relative loss
+	// (LostCutBound / merged MaxSum); always <= DriftBudget unless the
+	// component fell back.
+	MaxDriftEstimate float64 `json:"max_drift_estimate"`
+	DriftBudget      float64 `json:"drift_budget"`
+	MaxArea          int64   `json:"max_area"`
+	Strategy         string  `json:"strategy"`
+	// BoundLoss is the measured relative MaxSum loss of the whole solve vs
+	// the unsharded Corollary 1 relaxation bound — identical to
+	// Diagnostics.Gap, restated here so the sharding artifact is
+	// self-contained. Filled by diagnostics assemblers.
+	BoundLoss float64 `json:"bound_loss"`
+}
+
+// ExactGateStats records an exact-solve area-gate decision: ComponentArea
+// is the largest |V|·|U| the gate saw (the whole instance when not
+// decomposed), Limit the configured ceiling, Gated whether the request was
+// refused because of it.
+type ExactGateStats struct {
+	ComponentArea int64 `json:"component_area"`
+	Limit         int64 `json:"limit"`
+	Gated         bool  `json:"gated"`
 }
 
 // DecompositionStats summarizes one decomposed solve: the component count

@@ -34,6 +34,21 @@ type ClusteredConfig struct {
 	// round(CFRatio · m·(m−1)/2) conflicting pairs over its m events.
 	CFRatio float64 // default 0.25
 
+	// BridgeFrac, in [0, 1], makes roughly that fraction of users "bridge"
+	// users: in addition to their home cluster's block they draw small
+	// positive values (scaled by BridgeWeight) in the NEXT cluster's block,
+	// giving them weak positive similarity to that cluster's events. Any
+	// positive fraction chains the clusters into a ring, so the
+	// positive-similarity graph forms ONE giant component — the workload of
+	// the approximate-sharding layer (internal/partition). 0 (the default)
+	// keeps clusters exactly disjoint and the generated instances
+	// bit-identical to before the flag existed.
+	BridgeFrac float64
+	// BridgeWeight scales the bridge block's values relative to the home
+	// block; <= 0 means 0.02, small enough that cross-cluster similarities
+	// stay far below intra-cluster ones (low-drift sharding).
+	BridgeWeight float64
+
 	Seed int64
 }
 
@@ -87,9 +102,34 @@ func (c ClusteredConfig) Generate() (*core.Instance, error) {
 		}
 	}
 	users := make([]core.User, c.NumUsers)
+	bridgeStride := 0
+	if c.BridgeFrac > 0 {
+		bridgeStride = int(1/c.BridgeFrac + 0.5)
+		if bridgeStride < 1 {
+			bridgeStride = 1
+		}
+	}
+	bridgeWeight := c.BridgeWeight
+	if bridgeWeight <= 0 {
+		bridgeWeight = 0.02
+	}
 	for i := range users {
+		attrs := sampleAttrs(i % c.Communities)
+		// Bridge selection goes by the user's rank WITHIN its community
+		// (i/k), not by raw index: a raw-index stride sharing a factor with
+		// k would bridge only a subgroup of communities and leave the rest
+		// disconnected. Rank 0 of every community always bridges, so each
+		// cluster chains to its successor and one giant component forms.
+		// Extra draws happen only for bridge users, keeping BridgeFrac == 0
+		// instances bit-identical to pre-bridge generations.
+		if bridgeStride > 0 && (i/c.Communities)%bridgeStride == 0 && c.Communities > 1 {
+			next := (i%c.Communities + 1) % c.Communities
+			for d := next * c.BlockDim; d < (next+1)*c.BlockDim; d++ {
+				attrs[d] = bridgeWeight * (0.1 + 0.9*attrRng.Float64())
+			}
+		}
 		users[i] = core.User{
-			Attrs: sampleAttrs(i % c.Communities),
+			Attrs: attrs,
 			Cap:   randx.UniformInt(capRng, 1, c.UserCapMax),
 		}
 	}
@@ -124,6 +164,8 @@ func (c ClusteredConfig) validate() error {
 		return fmt.Errorf("dataset: capacity maxima must be >= 1")
 	case c.CFRatio < 0 || c.CFRatio > 1:
 		return fmt.Errorf("dataset: conflict ratio %v outside [0, 1]", c.CFRatio)
+	case c.BridgeFrac < 0 || c.BridgeFrac > 1:
+		return fmt.Errorf("dataset: bridge fraction %v outside [0, 1]", c.BridgeFrac)
 	}
 	return nil
 }

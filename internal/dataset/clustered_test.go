@@ -118,6 +118,118 @@ func TestClusteredDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestClusteredBridgeFormsGiantComponent: any positive BridgeFrac must
+// chain every community into ONE positive-similarity component. The
+// parameters reproduce the stride/communities interaction that once broke
+// this (frac 0.05 -> stride 20 shares a factor with k = 8): selection by
+// rank within community keeps every community bridged regardless of gcd.
+func TestClusteredBridgeFormsGiantComponent(t *testing.T) {
+	c := ClusteredConfig{
+		NumEvents: 24, NumUsers: 320, Communities: 8, BlockDim: 2,
+		EventCapMax: 4, UserCapMax: 2, CFRatio: 0.2,
+		BridgeFrac: 0.05, Seed: 4,
+	}
+	in, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union-find over the bipartite positive-similarity graph.
+	parent := make([]int, in.NumEvents()+in.NumUsers())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for v := 0; v < in.NumEvents(); v++ {
+		for u := 0; u < in.NumUsers(); u++ {
+			if in.Similarity(v, u) > 0 {
+				parent[find(v)] = find(in.NumEvents() + u)
+			}
+		}
+	}
+	root := find(0)
+	for i := range parent {
+		if find(i) != root {
+			t.Fatalf("node %d disconnected: bridge users did not chain the communities", i)
+		}
+	}
+}
+
+// TestClusteredBridgeStructure: with BridgeFrac 0 every user draws only
+// inside its home block (so clusters stay exactly disjoint); with a positive
+// fraction, exactly the rank-selected bridge users also carry small positive
+// values in the NEXT community's block, events are untouched by the knob,
+// and generation stays deterministic per seed.
+func TestClusteredBridgeStructure(t *testing.T) {
+	c := ClusteredConfig{
+		NumEvents: 16, NumUsers: 160, Communities: 4, BlockDim: 3,
+		EventCapMax: 4, UserCapMax: 2, CFRatio: 0.2, Seed: 6,
+	}
+	blockNonzero := func(attrs []float64, k int) bool {
+		for d := k * c.BlockDim; d < (k+1)*c.BlockDim; d++ {
+			if attrs[d] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	plain, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, usr := range plain.Users {
+		for k := 0; k < c.Communities; k++ {
+			if got, want := blockNonzero(usr.Attrs, k), k == u%c.Communities; got != want {
+				t.Fatalf("BridgeFrac 0: user %d block %d nonzero=%v, want %v", u, k, got, want)
+			}
+		}
+	}
+	c.BridgeFrac = 0.1 // stride 10: user ranks 0, 10, 20, ... bridge
+	withBridges, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events draw before users, so the knob cannot perturb them.
+	for v := range plain.Events {
+		for d := range plain.Events[v].Attrs {
+			if plain.Events[v].Attrs[d] != withBridges.Events[v].Attrs[d] {
+				t.Fatalf("event %d attrs perturbed by the bridge knob", v)
+			}
+		}
+	}
+	bridges := 0
+	for u, usr := range withBridges.Users {
+		home := u % c.Communities
+		next := (home + 1) % c.Communities
+		isBridge := (u/c.Communities)%10 == 0
+		if got := blockNonzero(usr.Attrs, next); got != isBridge {
+			t.Fatalf("user %d (bridge=%v): next-block nonzero=%v", u, isBridge, got)
+		}
+		if isBridge {
+			bridges++
+		}
+	}
+	if want := 4 * 4; bridges != want { // 40 ranks per community, every 10th
+		t.Fatalf("%d bridge users, want %d", bridges, want)
+	}
+	again, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range withBridges.Users {
+		for d := range withBridges.Users[u].Attrs {
+			if withBridges.Users[u].Attrs[d] != again.Users[u].Attrs[d] {
+				t.Fatalf("bridged generation not deterministic at user %d", u)
+			}
+		}
+	}
+}
+
 func TestClusteredValidation(t *testing.T) {
 	bad := []ClusteredConfig{
 		{NumEvents: 0, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1},
@@ -125,6 +237,8 @@ func TestClusteredValidation(t *testing.T) {
 		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 0, EventCapMax: 1, UserCapMax: 1},
 		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 0, UserCapMax: 1},
 		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1, CFRatio: 1.5},
+		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1, BridgeFrac: -0.1},
+		{NumEvents: 1, NumUsers: 1, Communities: 1, BlockDim: 1, EventCapMax: 1, UserCapMax: 1, BridgeFrac: 1.01},
 	}
 	for i, c := range bad {
 		if _, err := c.Generate(); err == nil {

@@ -62,6 +62,20 @@ type Decomposition struct {
 	// BuildSeconds is the wall-clock cost of the union-graph scan,
 	// union-find, and sub-instance materialization.
 	BuildSeconds float64
+
+	// partMu guards partStats, accumulated by the solve pool when
+	// Options.Shard routes oversized components through internal/partition.
+	partMu    sync.Mutex
+	partStats *core.PartitionStats
+}
+
+// PartitionStats reports the approximate-sharding aggregate of the most
+// recent SolveContext/SolveSubset run, or nil when no component sharded.
+// Call it after the solve returns; each solve resets the aggregate.
+func (d *Decomposition) PartitionStats() *core.PartitionStats {
+	d.partMu.Lock()
+	defer d.partMu.Unlock()
+	return d.partStats
 }
 
 // Decompose shards in along the connected components of its union graph.

@@ -70,6 +70,10 @@ type RebalanceResult struct {
 	ComponentsTotal  int `json:"components_total"`
 	// Adopted reports whether the arranger's matching was replaced.
 	Adopted bool `json:"adopted"`
+	// Partition aggregates the approximate-sharding activity of this
+	// rebalance (nil unless Options.Shard routed a dirty giant component
+	// through internal/partition).
+	Partition *core.PartitionStats `json:"partition,omitempty"`
 }
 
 // RebalanceScoped re-solves only the decomposition components touched by
@@ -127,6 +131,7 @@ func RebalanceScoped(ctx context.Context, arr *core.Arranger, algo string,
 		return res, err
 	}
 	res.ComponentsSolved = len(ids)
+	res.Partition = d.PartitionStats()
 
 	// Current per-component MaxSum: every matched pair has sim > 0, so its
 	// event and user share a component and the pair belongs to exactly one.

@@ -11,6 +11,7 @@ import (
 
 	"github.com/ebsnlab/geacc/internal/core"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/solvecache"
 )
 
@@ -55,6 +56,14 @@ type Options struct {
 	// a small delta re-solve skips most augmentations. Results stay
 	// bit-exact vs the cold path.
 	WarmCache *core.WarmCache
+	// Shard, when non-nil, routes components whose |V|·|U| exceeds
+	// Shard.MaxArea through internal/partition: the component is split
+	// into balanced sub-shards, each solved through the ordinary
+	// per-component machinery above (cache, warm flow, node limits), then
+	// merged with a bounded-drift boundary repair. Components at or below
+	// the threshold — and every component when Shard is nil — solve
+	// exactly as before, bit-identically.
+	Shard *partition.Options
 }
 
 // solveComponentFn is the per-component dispatch; tests swap it to inject
@@ -106,6 +115,73 @@ func solveComponent(ctx context.Context, algo string, c Component, compIdx int, 
 		opt.SolveCache.Put(key, m.Clone())
 	}
 	return m, err
+}
+
+// shardSolve routes one oversized component through internal/partition.
+// Each sub-shard becomes an ordinary Component (events/users mapped back to
+// parent indices) solved by solveComponentFn, so the solve cache, the
+// warm-started min-cost flow (keyed by the shard's smallest parent event
+// id), and the node-limited exact path all compose inside shards. The
+// monolithic fallback is the exact call the unsharded path would have made.
+func (d *Decomposition) shardSolve(ctx context.Context, algo string, c Component, compIdx int, opt Options) (*core.Matching, error) {
+	popt := opt.Shard.Normalized()
+	if popt.Workers == 0 {
+		popt.Workers = opt.Workers
+	}
+	solve := func(ctx context.Context, sub *core.Instance, events, users []int, shard int) (*core.Matching, error) {
+		sc := Component{
+			Events: mapParent(c.Events, events),
+			Users:  mapParent(c.Users, users),
+			Sub:    sub,
+		}
+		// Synthetic per-shard index: gives each shard of each component a
+		// distinct deterministic seed stream for the random baselines
+		// (deterministic solvers ignore it, and cache keys hash the shard
+		// content, so rare index collisions across components are benign).
+		return solveComponentFn(ctx, algo, sc, compIdx*4096+shard+1, opt)
+	}
+	mono := func(ctx context.Context) (*core.Matching, error) {
+		return solveComponentFn(ctx, algo, c, compIdx, opt)
+	}
+	m, pst, err := partition.SolveComponent(ctx, c.Sub, popt, solve, mono)
+	if pst != nil && pst.Shards > 1 {
+		d.recordPartition(pst, popt)
+	}
+	return m, err
+}
+
+// mapParent lifts component-local shard indices to parent indices.
+func mapParent(parent, local []int) []int {
+	out := make([]int, len(local))
+	for i, x := range local {
+		out[i] = parent[x]
+	}
+	return out
+}
+
+func (d *Decomposition) recordPartition(st *partition.Stats, popt partition.Options) {
+	d.partMu.Lock()
+	defer d.partMu.Unlock()
+	if d.partStats == nil {
+		d.partStats = &core.PartitionStats{
+			DriftBudget: popt.DriftBudget,
+			MaxArea:     popt.MaxArea,
+			Strategy:    string(popt.Strategy),
+		}
+	}
+	agg := d.partStats
+	agg.Runs++
+	agg.Shards += st.Shards
+	if st.FellBack {
+		agg.Fallbacks++
+	}
+	agg.CutPairs += st.CutPairs
+	agg.CutConflicts += st.CutConflicts
+	agg.RepairMoves += st.RepairMoves
+	agg.RepairGain += st.RepairGain
+	if !st.FellBack && st.DriftEstimate > agg.MaxDriftEstimate {
+		agg.MaxDriftEstimate = st.DriftEstimate
+	}
 }
 
 // componentSeed derives the deterministic per-component seed: a fixed odd
@@ -221,6 +297,9 @@ func (d *Decomposition) solveSet(ctx context.Context, algo string, ids []int, op
 		return nil, nil, err
 	}
 	decompRuns.Inc()
+	d.partMu.Lock()
+	d.partStats = nil // fresh aggregate per solve run
+	d.partMu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -262,7 +341,14 @@ func (d *Decomposition) solveSet(ctx context.Context, algo string, ids []int, op
 					Annotate("component", i).
 					Annotate("events", len(c.Events)).
 					Annotate("users", len(c.Users))
-				m, err := solveComponentFn(ctx, algo, c, i, opt)
+				var m *core.Matching
+				var err error
+				if sh := opt.Shard; sh != nil &&
+					int64(len(c.Events))*int64(len(c.Users)) > sh.Normalized().MaxArea {
+					m, err = d.shardSolve(ctx, algo, c, i, opt)
+				} else {
+					m, err = solveComponentFn(ctx, algo, c, i, opt)
+				}
 				decompComponents.Inc()
 				decompComponentSize.Observe(float64(len(c.Events) + len(c.Users)))
 				results[j], errs[j] = m, err

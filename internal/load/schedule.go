@@ -59,6 +59,15 @@ func newSolveStream(sc Scenario, seed int64, lane int) (*laneStream, error) {
 	if sc.NoCache {
 		path += "&cache=0"
 	}
+	if sc.ApproxShard {
+		path += "&approx_shard=1"
+		if sc.ShardMaxArea > 0 {
+			path += fmt.Sprintf("&shard_max_area=%d", sc.ShardMaxArea)
+		}
+		if sc.ShardStrategy != "" {
+			path += "&shard_strategy=" + url.QueryEscape(sc.ShardStrategy)
+		}
+	}
 	bodies := make([][]byte, sc.Variants)
 	for v := range bodies {
 		cfg := dataset.DefaultSynthetic()

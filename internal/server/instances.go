@@ -17,6 +17,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/solvecache"
 	"github.com/ebsnlab/geacc/internal/store"
 )
@@ -67,6 +68,11 @@ type service struct {
 	// gates the per-instance rebalance caches minted at instance creation.
 	solveCache   *solvecache.Cache
 	cacheEnabled bool
+
+	// shardDefault, when non-nil, applies approximate sharding to every
+	// /solve and rebalance unless the request opts out (?approx_shard=0);
+	// see Config.Shard.
+	shardDefault *partition.Options
 
 	// ready flips true once startup replay has finished; the instance
 	// endpoints and /readyz gate on it. replayErr holds the failure message
@@ -150,6 +156,7 @@ func newService(log *slog.Logger, cfg Config) (*service, error) {
 		admitHold:     cfg.admitHold,
 		solveCache:    solvecache.New(cacheEntries), // nil when negative
 		cacheEnabled:  cacheEntries > 0,
+		shardDefault:  cfg.Shard,
 		instances:     make(map[string]*instance),
 		httpWindows:   make(map[string]*obs.Window),
 		solveWindows:  make(map[string]*obs.Window),
@@ -760,6 +767,15 @@ func (s *service) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt := decomp.Options{Seed: 1}
+	shard, err := s.shardOptionsFromQuery(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	// With sharding on, a dirty giant component splits before solving; the
+	// per-shard solves still go through the instance's reuse caches (content
+	// hashing and warm flow compose inside shards).
+	opt.Shard = shard
 	if v := q.Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"github.com/ebsnlab/geacc/internal/decomp"
 	"github.com/ebsnlab/geacc/internal/encoding"
 	"github.com/ebsnlab/geacc/internal/obs"
+	"github.com/ebsnlab/geacc/internal/partition"
 	"github.com/ebsnlab/geacc/internal/report"
 	"github.com/ebsnlab/geacc/internal/solvecache"
 )
@@ -31,6 +32,12 @@ const MaxRequestBytes = 64 << 20
 // disconnected (or timed out) before the solver finished, and the request
 // context's cancellation aborted the run.
 const statusClientClosedRequest = 499
+
+// exactHTTPAreaLimit bounds exact (Prune-GEACC) searches over HTTP: the
+// |V|·|U| area of the instance (or, decomposed, of its largest component)
+// may not exceed it. The gating decision is surfaced in the diagnostics
+// artifact as Diagnostics.ExactGate.
+const exactHTTPAreaLimit = 200
 
 // Config tunes the service handler. The zero value is valid: default
 // logger, no persistence, default snapshot cadence.
@@ -73,6 +80,12 @@ type Config struct {
 	// disables solve caching service-wide (including the per-instance
 	// rebalance caches). Requests can opt out individually with ?cache=0.
 	SolveCacheEntries int
+	// Shard, when non-nil, makes approximate sharding of giant components
+	// (internal/partition) the service default for /solve and rebalances
+	// (geacc-server -approx-shard). Requests can still opt out with
+	// ?approx_shard=0 or override the tuning with the shard_* params. Nil
+	// means sharding only runs when a request asks with ?approx_shard=1.
+	Shard *partition.Options
 
 	// replayHold, when non-nil with LazyReplay, blocks the background
 	// replay until the channel is closed — a test hook for observing the
@@ -257,6 +270,51 @@ func boolParam(r *http.Request, name string) bool {
 	return false
 }
 
+// shardOptionsFromQuery resolves the approximate-sharding parameters:
+// ?approx_shard=1 turns the feature on (and implies the decomposed path),
+// ?approx_shard=0 opts out of a service-wide default, and ?shard_max_area=,
+// ?shard_strategy= (modularity or bfs) plus ?shard_drift_budget= tune it.
+// Returns nil when sharding is off for this request.
+func (s *service) shardOptionsFromQuery(r *http.Request) (*partition.Options, error) {
+	on := s.shardDefault != nil
+	switch r.URL.Query().Get("approx_shard") {
+	case "1", "true", "yes":
+		on = true
+	case "":
+		// keep the service default
+	default:
+		return nil, nil
+	}
+	if !on {
+		return nil, nil
+	}
+	opt := partition.Options{}
+	if s.shardDefault != nil {
+		opt = *s.shardDefault
+	}
+	if qs := r.URL.Query().Get("shard_max_area"); qs != "" {
+		v, err := strconv.ParseInt(qs, 10, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("server: bad shard_max_area %q (want a positive integer)", qs)
+		}
+		opt.MaxArea = v
+	}
+	strat, err := partition.ParseStrategy(r.URL.Query().Get("shard_strategy"))
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	opt.Strategy = strat
+	if qs := r.URL.Query().Get("shard_drift_budget"); qs != "" {
+		v, err := strconv.ParseFloat(qs, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("server: bad shard_drift_budget %q (want a positive float)", qs)
+		}
+		opt.DriftBudget = v
+	}
+	o := opt.Normalized()
+	return &o, nil
+}
+
 // cacheBypassed reports whether the request opted out of the solve cache
 // with ?cache=0 (also "false"/"no"). The cache is opt-out rather than
 // opt-in because hits are bit-for-bit identical to fresh solves.
@@ -303,6 +361,14 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	diag := wantDiag(r)
 	decompose := wantDecompose(r)
+	shard, err := s.shardOptionsFromQuery(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if shard != nil {
+		decompose = true // sharding rides on the decomposition worker pool
+	}
 	workers := 0
 	if qs := r.URL.Query().Get("workers"); qs != "" {
 		workers, err = strconv.Atoi(qs)
@@ -335,14 +401,21 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var cacheKey solvecache.Key
 	cacheUsable := false
 	if s.solveCache != nil && algo != "portfolio" && !cacheBypassed(r) {
-		cacheKey, cacheUsable = solvecache.InstanceKey(in, solvecache.KeySpec{
+		spec := solvecache.KeySpec{
 			Algo:      algo,
 			Seed:      seed,
 			SimID:     solveSimID(simInfo),
 			Decompose: decompose,
 			Workers:   workers,
 			Diag:      diag,
-		})
+		}
+		if shard != nil {
+			spec.ApproxShard = true
+			spec.ShardMaxArea = shard.MaxArea
+			spec.ShardStrategy = string(shard.Strategy)
+			spec.ShardDriftBudget = shard.DriftBudget
+		}
+		cacheKey, cacheUsable = solvecache.InstanceKey(in, spec)
 		if cacheUsable {
 			if v, ok := s.solveCache.Get(cacheKey); ok {
 				requestLogger(r).Info("solve cache hit",
@@ -394,14 +467,25 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 				writeError(w, r, solveErrorStatus(derr, http.StatusInternalServerError), derr)
 				return
 			}
-			// The exact budget applies per shard: decomposition is exactly
-			// what makes larger instances exact-solvable over HTTP.
-			if algo == "exact" && dd.MaxComponentArea() > 200 {
-				writeError(w, r, http.StatusUnprocessableEntity,
-					fmt.Errorf("server: exact search is limited to component |V|·|U| <= 200 over HTTP; use the CLI"))
-				return
+			// The exact budget applies per component: decomposition is exactly
+			// what makes larger instances exact-solvable over HTTP. The gating
+			// decision — measured area against the limit — is surfaced in the
+			// 422 message and, for admitted diagnosed requests, in
+			// Diagnostics.ExactGate.
+			var gate *core.ExactGateStats
+			if algo == "exact" {
+				area := dd.MaxComponentArea()
+				gate = &core.ExactGateStats{ComponentArea: area, Limit: exactHTTPAreaLimit}
+				if area > exactHTTPAreaLimit {
+					gate.Gated = true
+					writeError(w, r, http.StatusUnprocessableEntity,
+						fmt.Errorf("server: exact search is limited to component |V|·|U| <= %d over HTTP (largest component area %d); use the CLI",
+							exactHTTPAreaLimit, area))
+					return
+				}
 			}
-			m, err = dd.SolveContext(ctx, algo, decomp.Options{Workers: workers, Seed: seed})
+			dopt := decomp.Options{Workers: workers, Seed: seed, Shard: shard}
+			m, err = dd.SolveContext(ctx, algo, dopt)
 			if err != nil {
 				writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 				return
@@ -410,12 +494,26 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 				d = core.BuildDiagnostics(algo, in, m, time.Since(start), rec.Spans(),
 					obs.DiffCounters(countersBefore, obs.Default().Counters()))
 				d.Decomposition = dd.Stats(workers)
+				d.ExactGate = gate
+				if pst := dd.PartitionStats(); pst != nil {
+					// BoundLoss: measured loss vs the unsharded Corollary 1
+					// relaxation bound, i.e. this run's diagnostics gap.
+					pst.BoundLoss = d.Gap
+					d.Partition = pst
+				}
 			}
 		} else {
-			if algo == "exact" && int64(in.NumEvents())*int64(in.NumUsers()) > 200 {
-				writeError(w, r, http.StatusUnprocessableEntity,
-					fmt.Errorf("server: exact search is limited to |V|·|U| <= 200 over HTTP; use the CLI"))
-				return
+			area := int64(in.NumEvents()) * int64(in.NumUsers())
+			var gate *core.ExactGateStats
+			if algo == "exact" {
+				gate = &core.ExactGateStats{ComponentArea: area, Limit: exactHTTPAreaLimit}
+				if area > exactHTTPAreaLimit {
+					gate.Gated = true
+					writeError(w, r, http.StatusUnprocessableEntity,
+						fmt.Errorf("server: exact search is limited to |V|·|U| <= %d over HTTP (instance area %d); use decompose or the CLI",
+							exactHTTPAreaLimit, area))
+					return
+				}
 			}
 			rng := rand.New(rand.NewSource(seed))
 			if diag {
@@ -426,6 +524,9 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				writeError(w, r, solveErrorStatus(err, http.StatusInternalServerError), err)
 				return
+			}
+			if d != nil {
+				d.ExactGate = gate
 			}
 		}
 	}

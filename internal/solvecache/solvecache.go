@@ -34,6 +34,13 @@ type KeySpec struct {
 	Workers   int
 	Diag      bool
 	NodeLimit int64
+	// Approximate-sharding parameters (internal/partition). They change the
+	// merged matching, so they must key separately from a plain decomposed
+	// solve: ApproxShard false means the zero-valued trio hashes as "off".
+	ApproxShard      bool
+	ShardMaxArea     int64
+	ShardStrategy    string
+	ShardDriftBudget float64
 }
 
 // InstanceKey hashes the instance content under the spec. ok is false when
@@ -56,7 +63,7 @@ func InstanceKey(in *core.Instance, spec KeySpec) (Key, bool) {
 		writeInt(int64(len(s)))
 		h.Write([]byte(s))
 	}
-	writeStr("geacc-solve-v1")
+	writeStr("geacc-solve-v2")
 	writeStr(spec.Algo)
 	writeStr(spec.SimID)
 	writeInt(spec.Seed)
@@ -69,7 +76,13 @@ func InstanceKey(in *core.Instance, spec KeySpec) (Key, bool) {
 	if spec.Diag {
 		flags |= 2
 	}
+	if spec.ApproxShard {
+		flags |= 4
+	}
 	writeInt(flags)
+	writeInt(spec.ShardMaxArea)
+	writeStr(spec.ShardStrategy)
+	writeFloat(spec.ShardDriftBudget)
 
 	writeInt(int64(in.NumEvents()))
 	writeInt(int64(in.NumUsers()))
